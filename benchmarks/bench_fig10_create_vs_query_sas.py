@@ -1,0 +1,49 @@
+"""Figure 10 — snapshot creation time vs as-of query time, SAS media.
+
+Same series as Figure 9 on rotating media: creation stays bounded by the
+checkpoint-interval log scan; query time grows linearly and much faster
+than on SSD because every cache-missing log read pays a seek.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ReportTable, save_results
+from repro.bench.harness import time_travel_results
+
+
+def run_fig10():
+    return time_travel_results("sas")
+
+
+def test_fig10_create_vs_query_sas(benchmark, show):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+
+    table = ReportTable(
+        "Figure 10: snapshot creation vs as-of query on SAS",
+        ["minutes back", "creation s", "query s", "pages prepared"],
+    )
+    for point in result.points:
+        table.add(
+            point.minutes_back,
+            point.asof_create_s,
+            point.asof_query_s,
+            point.pages_prepared,
+        )
+    show(table)
+    save_results(
+        "fig10_sas",
+        {
+            str(point.minutes_back): {
+                "create_s": point.asof_create_s,
+                "query_s": point.asof_query_s,
+            }
+            for point in result.points
+        },
+    )
+
+    points = result.points
+    assert points[-1].asof_query_s > points[0].asof_query_s
+    assert points[-1].asof_query_s > points[-1].asof_create_s
+    # Query cost at the far end clearly dominates the near end (the
+    # linear-growth claim, readable even with coarse distances).
+    assert points[-1].asof_query_s > 2 * points[0].asof_query_s

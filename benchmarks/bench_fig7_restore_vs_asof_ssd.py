@@ -1,0 +1,57 @@
+"""Figure 7 — restore vs as-of query, end-to-end, SSD media.
+
+Paper series (log scale): end-to-end time to reach stock-level data at
+increasing distances back in time — as-of snapshot (creation + query)
+versus full restore + roll-forward. On the paper's SSDs, as-of took 5-18
+seconds while restore took 12-26 minutes; the expected *shape* is: as-of
+grows roughly linearly with distance and stays well below restore, which
+is flat regardless of distance.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ReportTable, save_results
+from repro.bench.harness import time_travel_results
+
+
+def run_fig7():
+    return time_travel_results("ssd")
+
+
+def test_fig7_restore_vs_asof_ssd(benchmark, show):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    table = ReportTable(
+        f"Figure 7: restore vs as-of on SSD "
+        f"(db {result.db_bytes / 1e6:.0f} MB, log {result.log_bytes / 1e6:.0f} MB)",
+        ["minutes back", "as-of total s", "restore s", "restore / as-of"],
+    )
+    for point in result.points:
+        table.add(
+            point.minutes_back,
+            point.asof_total_s,
+            point.restore_s,
+            f"{point.restore_s / point.asof_total_s:.1f}x",
+        )
+    show(table)
+    save_results(
+        "fig7_ssd",
+        {
+            str(point.minutes_back): {
+                "asof_total_s": point.asof_total_s,
+                "restore_s": point.restore_s,
+            }
+            for point in result.points
+        },
+    )
+
+    points = result.points
+    assert len(points) >= 3
+    # As-of beats restore at every distance (the paper's headline).
+    for point in points:
+        assert point.asof_total_s < point.restore_s, point
+    # As-of query time grows with distance...
+    assert points[-1].asof_query_s > points[0].asof_query_s
+    # ...while restore stays roughly flat (within 2x across the sweep).
+    restores = [point.restore_s for point in points]
+    assert max(restores) < 2.0 * min(restores)

@@ -1,0 +1,79 @@
+"""Figure 8 — restore vs as-of query, end-to-end, SAS (10K spindle) media.
+
+Same series as Figure 7 on rotating media. Paper numbers: as-of 34-300
+seconds (log-read stalls dominate on spindles), restore about 44 minutes.
+Expected shape: as-of still wins everywhere, the as-of curve is much
+steeper than on SSD (random log I/O is the bottleneck — the paper's
+argument for keeping the log on low-latency media), and restore is flat.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ReportTable, save_results
+from repro.bench.harness import time_travel_results
+
+
+def run_fig8():
+    return time_travel_results("sas")
+
+
+def test_fig8_restore_vs_asof_sas(benchmark, show):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    table = ReportTable(
+        f"Figure 8: restore vs as-of on SAS "
+        f"(db {result.db_bytes / 1e6:.0f} MB, log {result.log_bytes / 1e6:.0f} MB)",
+        ["minutes back", "as-of total s", "restore s", "restore / as-of"],
+    )
+    for point in result.points:
+        table.add(
+            point.minutes_back,
+            point.asof_total_s,
+            point.restore_s,
+            f"{point.restore_s / point.asof_total_s:.1f}x",
+        )
+    show(table)
+    save_results(
+        "fig8_sas",
+        {
+            str(point.minutes_back): {
+                "asof_total_s": point.asof_total_s,
+                "restore_s": point.restore_s,
+            }
+            for point in result.points
+        },
+    )
+
+    points = result.points
+    assert len(points) >= 3
+    for point in points:
+        assert point.asof_total_s < point.restore_s, point
+    assert points[-1].asof_query_s > points[0].asof_query_s
+    restores = [point.restore_s for point in points]
+    assert max(restores) < 2.0 * min(restores)
+
+
+def test_fig8_sas_slower_than_ssd(benchmark, show):
+    """The cross-figure claim: as-of queries stall on rotating-media log
+    reads, so SAS query times sit far above SSD at every distance."""
+    sas = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    ssd = time_travel_results("ssd")
+    table = ReportTable(
+        "Figures 7/8 cross-check: as-of query seconds by media",
+        ["minutes back", "ssd query s", "sas query s", "sas / ssd"],
+    )
+    pairs = 0
+    for ssd_pt, sas_pt in zip(ssd.points, sas.points):
+        if ssd_pt.minutes_back != sas_pt.minutes_back:
+            continue
+        ratio = (
+            sas_pt.asof_query_s / ssd_pt.asof_query_s
+            if ssd_pt.asof_query_s
+            else float("inf")
+        )
+        table.add(ssd_pt.minutes_back, ssd_pt.asof_query_s, sas_pt.asof_query_s, f"{ratio:.1f}x")
+        if sas_pt.minutes_back >= 2:
+            assert sas_pt.asof_query_s > 3 * ssd_pt.asof_query_s
+            pairs += 1
+    show(table)
+    assert pairs >= 2

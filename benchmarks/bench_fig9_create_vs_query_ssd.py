@@ -1,0 +1,58 @@
+"""Figure 9 — snapshot creation time vs as-of query time, SSD media.
+
+Paper shape: creation time is "more or less constant" (bounded by the log
+scanned between the checkpoint preceding the SplitLSN and the SplitLSN —
+i.e. by the 30-second checkpoint interval) while query time grows
+linearly with the amount of modification to the touched pages.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ReportTable, save_results
+from repro.bench.harness import time_travel_results
+
+
+def run_fig9():
+    return time_travel_results("ssd")
+
+
+def test_fig9_create_vs_query_ssd(benchmark, show):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    table = ReportTable(
+        "Figure 9: snapshot creation vs as-of query on SSD",
+        ["minutes back", "creation s", "query s", "pages prepared"],
+    )
+    for point in result.points:
+        table.add(
+            point.minutes_back,
+            point.asof_create_s,
+            point.asof_query_s,
+            point.pages_prepared,
+        )
+    show(table)
+    save_results(
+        "fig9_ssd",
+        {
+            str(point.minutes_back): {
+                "create_s": point.asof_create_s,
+                "query_s": point.asof_query_s,
+            }
+            for point in result.points
+        },
+    )
+
+    points = result.points
+    # Query grows with distance; by the far end it dominates creation.
+    assert points[-1].asof_query_s > points[0].asof_query_s
+    assert points[-1].asof_query_s > points[-1].asof_create_s
+    # Creation stays bounded (it never scans more than a checkpoint
+    # interval of log): no point should cost more than the whole query
+    # sweep's maximum.
+    max_query = max(point.asof_query_s for point in points)
+    for point in points:
+        assert point.asof_create_s < max(max_query, 10 * points[0].asof_create_s + 1e-6)
+    # The number of pages touched by the query is roughly constant — the
+    # cost growth comes from per-page history, not from page count.
+    prepared = [point.pages_prepared for point in points]
+    assert max(prepared) <= 3 * max(1, min(prepared))

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools lacks the ``wheel`` package, so PEP 517
+editable installs fail; ``pip install -e . --no-use-pep517`` with this
+shim works everywhere. Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

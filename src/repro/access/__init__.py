@@ -1,0 +1,12 @@
+"""Access methods: clustered B-trees and heaps over slotted pages.
+
+Both structures log every page modification through the
+:class:`~repro.wal.apply.PageModifier`, so the paper's page-oriented undo
+works on them "without need for specialized code" (section 7.2) — and the
+same read paths run against primary buffers or as-of snapshot page sources.
+"""
+
+from repro.access.btree import BTree, BTreeServices
+from repro.access.heap import Heap
+
+__all__ = ["BTree", "BTreeServices", "Heap"]

@@ -1,0 +1,13 @@
+"""Backup and restore: the traditional baseline the paper argues against.
+
+Full backups copy every allocated page; point-in-time restore copies them
+back and rolls the log forward to the target time, then undoes in-flight
+transactions. Its cost is proportional to the *database size*, regardless
+of how little data the user actually needs — the exact asymmetry Figures
+7/8 of the paper quantify against as-of queries.
+"""
+
+from repro.backup.backup import FullBackup, take_full_backup
+from repro.backup.restore import restore_point_in_time
+
+__all__ = ["FullBackup", "take_full_backup", "restore_point_in_time"]

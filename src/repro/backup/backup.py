@@ -1,0 +1,61 @@
+"""Full database backups.
+
+A full backup is a checkpoint-consistent copy of every allocated page
+(boot and allocation maps included), stamped with the checkpoint LSN the
+roll-forward must start from. Reading the pages is priced as sequential
+I/O on the data device and writing the backup as sequential I/O too —
+the paper's point that "the process of generating backups of large
+databases can impact the user workload" falls straight out of the
+device-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FullBackup:
+    """A checkpoint-consistent page-level copy of one database."""
+
+    source_name: str
+    page_size: int
+    #: Checkpoint LSN the backup is consistent with; roll-forward replays
+    #: the log from here.
+    backup_lsn: int
+    taken_wall: float
+    pages: dict[int, bytes] = field(default_factory=dict, repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.pages) * self.page_size
+
+    def __repr__(self) -> str:
+        return (
+            f"FullBackup(of={self.source_name!r}, pages={len(self.pages)}, "
+            f"lsn={self.backup_lsn:#x})"
+        )
+
+
+def take_full_backup(db) -> FullBackup:
+    """Take a full backup of ``db``.
+
+    Checkpoints first (making the on-disk state consistent with
+    ``backup_lsn``), then streams every allocated page out and the backup
+    copy in.
+    """
+    backup_lsn = db.checkpoint()
+    page_ids = db.alloc.allocated_page_ids()
+    backup = FullBackup(
+        source_name=db.name,
+        page_size=db.config.page_size,
+        backup_lsn=backup_lsn,
+        taken_wall=db.env.clock.now(),
+    )
+    pages = db.file_manager.read_sequential(page_ids)
+    for page_id, data in zip(page_ids, pages):
+        backup.pages[page_id] = bytes(data)
+    # Writing the backup media is a sequential stream of the same volume.
+    db.env.data_device.write_seq(backup.size_bytes)
+    db.env.stats.backup_write_bytes += backup.size_bytes
+    return backup

@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment builders and result reporting.
+
+Each file under ``benchmarks/`` regenerates one table or figure of the
+paper's section 6; the heavy lifting (environment construction, workload
+runs, the shared time-travel experiment behind Figures 7-11) lives here.
+"""
+
+from repro.bench.harness import (
+    TimeTravelPoint,
+    build_tpcc,
+    make_perf_env,
+    run_time_travel_experiment,
+    time_travel_results,
+)
+from repro.bench.reporting import ReportTable, save_results
+
+__all__ = [
+    "make_perf_env",
+    "build_tpcc",
+    "run_time_travel_experiment",
+    "time_travel_results",
+    "TimeTravelPoint",
+    "ReportTable",
+    "save_results",
+]

@@ -1,0 +1,12 @@
+"""Metadata catalog: schemas and system tables.
+
+The catalog is stored in ordinary B-trees (``sys_objects``, ``sys_columns``)
+exactly because the paper leans on that property: metadata pages are unwound
+by the same page-oriented undo as data pages, which is what makes a dropped
+table's schema visible again through an as-of snapshot.
+"""
+
+from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.catalog.catalog import Catalog, ObjectInfo
+
+__all__ = ["Column", "ColumnType", "TableSchema", "Catalog", "ObjectInfo"]

@@ -1,0 +1,38 @@
+"""The paper's contribution: page-oriented undo and as-of snapshots.
+
+* :func:`~repro.core.page_undo.prepare_page_as_of` — section 4's
+  ``PreparePageAsOf(page, asOfLSN)`` primitive.
+* :func:`~repro.core.split_lsn.find_split_lsn` — section 5.1's wall-clock
+  to SplitLSN translation.
+* :class:`~repro.core.asof.AsOfSnapshot` — section 5's as-of database
+  snapshots (creation, recovery, lazy page access).
+* :mod:`~repro.core.retention` — section 4.3's retention period.
+* :mod:`~repro.core.recovery_tools` — the user-facing error-recovery
+  workflows the paper's introduction walks through.
+"""
+
+from repro.core.page_undo import prepare_page_as_of
+from repro.core.split_lsn import find_split_lsn, checkpoint_chain
+from repro.core.asof import AsOfSnapshot
+from repro.core.retention import enforce_retention, retention_horizon
+from repro.core.recovery_tools import (
+    diff_table,
+    find_when_table_existed,
+    recover_dropped_table,
+    restore_rows,
+)
+from repro.core.txn_undo import undo_transaction
+
+__all__ = [
+    "prepare_page_as_of",
+    "find_split_lsn",
+    "checkpoint_chain",
+    "AsOfSnapshot",
+    "enforce_retention",
+    "retention_horizon",
+    "find_when_table_existed",
+    "recover_dropped_table",
+    "diff_table",
+    "restore_rows",
+    "undo_transaction",
+]

@@ -1,0 +1,95 @@
+"""``PreparePageAsOf`` — the paper's core primitive (section 4).
+
+Given the current content of a page and a target LSN, walk the page's
+modification chain backwards (``pageLSN`` → each record's
+``prevPageLSN``), applying each record's exact physical inverse, until the
+page's state is as of the target. Pages are undone independently of each
+other — the property that makes the whole scheme's cost proportional to
+the data actually accessed.
+
+When periodic full page images are logged (section 6.1), the image chain
+(``lastImageLSN`` → each image's ``prevImageLSN``) is walked first: the
+earliest image past the target is applied and only the few modifications
+between the target and that image are undone, skipping whole regions of
+the log.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimEnv
+from repro.errors import MissingUndoInfoError, StorageError
+from repro.storage.page import Page
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import NULL_LSN, format_lsn
+from repro.wal.records import PageImageRecord
+
+
+def prepare_page_as_of(
+    page: Page,
+    asof_lsn: int,
+    log: LogManager,
+    env: SimEnv,
+    *,
+    use_images: bool = True,
+) -> Page:
+    """Rewind ``page`` (in place) to its state as of ``asof_lsn``.
+
+    Mirrors the paper's Figure 3 pseudo code, plus the image fast path.
+    Raises :class:`~repro.errors.LogTruncatedError` when the chain leaves
+    the retention window and
+    :class:`~repro.errors.MissingUndoInfoError` when a record on the path
+    cannot be inverted (extensions disabled and derivation impossible).
+    """
+    env.stats.pages_prepared_asof += 1
+    fetch = log.undo_fetch
+    if not page.is_formatted():
+        return page
+    current = page.page_lsn
+
+    if use_images and page.last_image_lsn > asof_lsn and current > asof_lsn:
+        best = _earliest_image_after(page, asof_lsn, log)
+        if best is not None and best.lsn < current:
+            page.restore(best.image)
+            env.stats.undo_images_applied += 1
+            current = best.prev_page_lsn
+
+    while current > asof_lsn:
+        rec = fetch(current)
+        env.charge_cpu(env.cost.undo_record_cpu_s)
+        try:
+            rec.physical_undo(page, fetch)
+        except StorageError as exc:
+            # A physical inverse applied to an unformatted page means the
+            # chain crossed an in-place format with no preformat record —
+            # the paper's Figure 1 broken-chain scenario.
+            raise MissingUndoInfoError(
+                f"page {rec.page_id}: chain broken at {format_lsn(current)} "
+                f"({exc})"
+            ) from exc
+        env.stats.undo_records_applied += 1
+        current = rec.prev_page_lsn
+
+    if page.is_formatted():
+        page.page_lsn = current
+    return page
+
+
+def _earliest_image_after(page: Page, asof_lsn: int, log: LogManager) -> PageImageRecord | None:
+    """Walk the image chain back to the first image past ``asof_lsn``."""
+    best: PageImageRecord | None = None
+    image_lsn = page.last_image_lsn
+    while image_lsn > asof_lsn and image_lsn != NULL_LSN:
+        rec = log.undo_fetch(image_lsn)
+        if not isinstance(rec, PageImageRecord):
+            raise MissingUndoInfoError(
+                f"page {page.page_id}: image chain hit "
+                f"{type(rec).__name__} at {format_lsn(image_lsn)}"
+            )
+        best = rec
+        image_lsn = rec.prev_image_lsn
+    return best
+
+
+def undo_io_estimate(env_stats_before, env_stats_after) -> int:
+    """Undo log *device* reads between two stats snapshots (Figure 11)."""
+    return env_stats_after.undo_log_reads - env_stats_before.undo_log_reads

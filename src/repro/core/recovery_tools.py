@@ -1,0 +1,143 @@
+"""User-facing error-recovery workflows (the paper's introduction).
+
+These helpers wrap the as-of snapshot machinery into the workflows a DBA
+actually runs: probing backwards for the moment an object still existed,
+copying a dropped table back, and diffing a table between two points in
+time to reconcile selectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, RetentionExceededError
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of the iterative point-in-time search."""
+
+    found: bool
+    as_of: float | None
+    probes: int
+    snapshot_name: str | None = None
+
+
+def find_when_table_existed(
+    engine,
+    db_name: str,
+    table: str,
+    *,
+    latest: float,
+    step_s: float = 60.0,
+    max_probes: int = 32,
+    keep_snapshot: bool = False,
+) -> ProbeResult:
+    """Probe backwards from ``latest`` until ``table`` is visible.
+
+    The paper's introduction: each probe creates an as-of snapshot and
+    checks the catalog — cheap regardless of database size, because only
+    metadata pages are unwound. Earlier probes double the step
+    (exponential back-off) to cover long gaps quickly.
+    """
+    when = latest
+    step = step_s
+    for probe in range(max_probes):
+        name = f"__probe_{table}_{probe}"
+        try:
+            snap = engine.create_asof_snapshot(db_name, name, when)
+        except RetentionExceededError:
+            return ProbeResult(False, None, probe + 1)
+        if snap.table_exists(table):
+            if not keep_snapshot:
+                engine.drop_snapshot(name)
+                name = None
+            return ProbeResult(True, when, probe + 1, snapshot_name=name)
+        engine.drop_snapshot(name)
+        when -= step
+        step *= 2
+    return ProbeResult(False, None, max_probes)
+
+
+def recover_dropped_table(engine, db_name: str, table: str, as_of) -> int:
+    """Re-create ``table`` as of ``as_of`` and copy its rows back.
+
+    Returns the number of rows recovered. The live database must not
+    currently have a table of that name.
+    """
+    db = engine.database(db_name)
+    if db.catalog.get_by_name(table) is not None:
+        raise CatalogError(
+            f"table {table!r} still exists; drop or rename it first"
+        )
+    snap_name = f"__recover_{table}"
+    snap = engine.create_asof_snapshot(db_name, snap_name, engine.resolve_as_of(as_of))
+    try:
+        schema = snap.schema(table)
+        info = snap.catalog.get_by_name(table)
+        db.create_table(schema, heap=info.is_heap)
+        copied = 0
+        with db.transaction() as txn:
+            for row in snap.scan(table):
+                db.insert(txn, table, row)
+                copied += 1
+        return copied
+    finally:
+        engine.drop_snapshot(snap_name)
+
+
+@dataclass
+class TableDiff:
+    """Key-level difference of one table between two readers."""
+
+    only_in_past: list = field(default_factory=list)
+    only_in_present: list = field(default_factory=list)
+    changed: list = field(default_factory=list)  # (key, past_row, present_row)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.only_in_past or self.only_in_present or self.changed)
+
+
+def diff_table(past_reader, present_reader, table: str) -> TableDiff:
+    """Compare a table between two readers (snapshots and/or databases).
+
+    This powers selective reconcile: restore only the rows the error
+    destroyed, keep everything legitimate work changed since.
+    """
+    past_schema = past_reader.table(table).schema
+    past = {past_schema.key_of(row): row for row in past_reader.scan(table)}
+    present = {
+        past_schema.key_of(row): row for row in present_reader.scan(table)
+    }
+    diff = TableDiff()
+    for key, row in past.items():
+        if key not in present:
+            diff.only_in_past.append(row)
+        elif present[key] != row:
+            diff.changed.append((key, row, present[key]))
+    for key, row in present.items():
+        if key not in past:
+            diff.only_in_present.append(row)
+    return diff
+
+
+def restore_rows(db, table: str, diff: TableDiff, *, restore_changed: bool = False) -> int:
+    """Re-insert the rows a user error removed (and optionally restore
+    changed rows to their past values); returns rows written."""
+    written = 0
+    with db.transaction() as txn:
+        for row in diff.only_in_past:
+            db.insert(txn, table, row)
+            written += 1
+        if restore_changed:
+            schema = db.table(table).schema
+            for key, past_row, _present_row in diff.changed:
+                changes = {
+                    name: value
+                    for name, value in zip(schema.column_names, past_row)
+                    if name not in schema.key
+                }
+                db.update(txn, table, key, changes)
+                written += 1
+    return written

@@ -1,0 +1,40 @@
+"""Retention period enforcement (paper section 4.3).
+
+``ALTER DATABASE ... SET UNDO_INTERVAL = 24 HOURS`` keeps the transaction
+log long enough to rewind any page that far back. Enforcement truncates
+the log at checkpoint boundaries: we keep the newest checkpoint whose
+wall-clock stamp is at or before the horizon (an as-of snapshot inside the
+window needs the analysis scan to start at a checkpoint at or before its
+SplitLSN), never truncating past the oldest active transaction or the
+last completed checkpoint.
+"""
+
+from __future__ import annotations
+
+from repro.core.split_lsn import checkpoint_chain
+from repro.wal.lsn import NULL_LSN
+
+
+def retention_horizon(db) -> float:
+    """Oldest wall-clock time the database must remain rewindable to."""
+    return db.env.clock.now() - db.undo_interval_s
+
+
+def enforce_retention(db) -> int:
+    """Truncate log below the retention window; returns the log start LSN."""
+    horizon_wall = retention_horizon(db)
+    keep_lsn = NULL_LSN
+    for lsn, wall, _prev in checkpoint_chain(db):
+        if wall <= horizon_wall:
+            keep_lsn = lsn
+            break
+    if keep_lsn == NULL_LSN:
+        return db.log.start_lsn
+    for txn in db.txns.active_transactions():
+        if txn.first_lsn != NULL_LSN:
+            keep_lsn = min(keep_lsn, txn.first_lsn)
+    keep_lsn = min(keep_lsn, db.last_checkpoint_lsn)
+    if keep_lsn > db.log.start_lsn:
+        db.log.flush()
+        db.log.truncate_before(keep_lsn)
+    return db.log.start_lsn

@@ -1,0 +1,80 @@
+"""Wall-clock time → SplitLSN translation (paper section 5.1).
+
+The search first narrows the log region using the backward chain of
+checkpoint records (which carry wall-clock stamps), then scans forward
+reading transaction commit records to find the last commit at or before
+the requested time. The SplitLSN is that commit's LSN: the snapshot's
+state is "every record with LSN ≤ SplitLSN applied, minus transactions
+still in flight at that point" — the in-flight ones are what snapshot
+recovery's logical undo removes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RetentionExceededError
+from repro.wal.lsn import FIRST_LSN, NULL_LSN
+from repro.wal.records import CheckpointBeginRecord, CommitRecord
+
+
+def checkpoint_chain(db, *, max_entries: int | None = None):
+    """Yield (lsn, wall_clock, prev_lsn) for checkpoints, newest first.
+
+    Walks the ``prev_checkpoint_lsn`` back-chain starting at the boot
+    page's last checkpoint. Stops at the retention horizon.
+    """
+    lsn = db.last_checkpoint_lsn
+    count = 0
+    while lsn != NULL_LSN and lsn >= db.log.start_lsn:
+        rec = db.log.read(lsn)
+        if not isinstance(rec, CheckpointBeginRecord):
+            break
+        yield lsn, rec.wall_clock, rec.prev_checkpoint_lsn
+        lsn = rec.prev_checkpoint_lsn
+        count += 1
+        if max_entries is not None and count >= max_entries:
+            break
+
+
+def find_split_lsn(db, target_wall: float) -> int:
+    """The SplitLSN for a snapshot as of ``target_wall`` (simulated time).
+
+    Raises :class:`RetentionExceededError` when the target precedes the
+    retained log (section 4.3's retention period).
+    """
+    now = db.env.clock.now()
+    if target_wall >= now:
+        # "As of now" (or future): everything committed so far.
+        return max(db.log.end_lsn - 1, FIRST_LSN)
+
+    # Narrow using the checkpoint chain: newest checkpoint at/before target.
+    base_lsn = NULL_LSN
+    oldest_seen = None
+    for lsn, wall, _prev in checkpoint_chain(db):
+        oldest_seen = (lsn, wall)
+        if wall <= target_wall:
+            base_lsn = lsn
+            break
+    if base_lsn == NULL_LSN:
+        if oldest_seen is not None and oldest_seen[0] == db.log.start_lsn:
+            # The whole retained log is newer than the target only if even
+            # the oldest retained checkpoint is newer.
+            base_lsn = oldest_seen[0]
+            if oldest_seen[1] > target_wall:
+                raise RetentionExceededError(
+                    f"as-of time {target_wall:.3f}s precedes the retained "
+                    f"log (oldest checkpoint at {oldest_seen[1]:.3f}s)"
+                )
+        else:
+            raise RetentionExceededError(
+                f"as-of time {target_wall:.3f}s precedes the retained log"
+            )
+
+    # Scan forward for the last commit at or before the target.
+    split = base_lsn
+    for rec in db.log.scan(base_lsn):
+        if isinstance(rec, CommitRecord):
+            if rec.wall_clock <= target_wall:
+                split = rec.lsn
+            else:
+                break
+    return split

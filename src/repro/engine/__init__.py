@@ -1,0 +1,6 @@
+"""Engine assembly: databases, checkpoints, crash recovery, the engine."""
+
+from repro.engine.database import Database, Table
+from repro.engine.engine import Engine
+
+__all__ = ["Database", "Table", "Engine"]

@@ -1,0 +1,493 @@
+"""The Database: storage, WAL, transactions, catalog and API assembled.
+
+One :class:`Database` owns one data file, one log, one buffer pool and one
+catalog. It implements the *undo context* protocol (``env``, ``log``,
+``modifier``, ``fetch_page``, ``tree_for_object``) consumed by
+:mod:`repro.txn.undo`, and the *reader* protocol (``get``/``scan``/
+``tables``) shared with snapshots so queries and workloads run unchanged
+against either.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.access.btree import BTree, BTreeServices
+from repro.access.heap import Heap
+from repro.catalog.catalog import (
+    KIND_HEAP,
+    KIND_TABLE,
+    Catalog,
+    ObjectInfo,
+)
+from repro.catalog.schema import TableSchema
+from repro.config import DatabaseConfig, SimEnv
+from repro.engine.boot import BOOT_PAGE_ID, BOOT_SLOT, BootRecord, read_boot_record
+from repro.errors import (
+    CatalogError,
+    SnapshotReadOnlyError,
+    TransactionError,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.allocation import AllocationManager
+from repro.storage.datafile import FileManager, MemoryDataFile
+from repro.storage.page import PageType
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+from repro.wal.apply import PageModifier
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import FIRST_LSN, NULL_LSN
+from repro.wal.records import InsertRowRecord, UpdateRowRecord
+
+
+class Table:
+    """Handle for one user table (B-tree) or heap."""
+
+    def __init__(self, db: "Database", info: ObjectInfo, schema: TableSchema) -> None:
+        self.db = db
+        self.info = info
+        self.schema = schema
+        if info.is_heap:
+            self.accessor = Heap(
+                object_id=info.object_id,
+                first_page_id=info.root_page,
+                schema=schema,
+                services=db.services,
+            )
+        else:
+            self.accessor = BTree(
+                object_id=info.object_id,
+                root_page_id=info.root_page,
+                schema=schema,
+                services=db.services,
+            )
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def _row(self, row) -> tuple:
+        if isinstance(row, dict):
+            return self.schema.row_from_dict(row)
+        return tuple(row)
+
+    def _lock_key(self, key: tuple) -> tuple:
+        if self.info.is_heap:
+            return (self.info.object_id,)
+        return (self.info.object_id, self.accessor.key_codec.encode(key))
+
+    # -- writes ---------------------------------------------------------
+
+    def insert(self, txn: Transaction, row) -> None:
+        self.db.require_writable()
+        txn.require_active()
+        values = self._row(row)
+        if self.info.is_heap:
+            # Heap appends never conflict: slots are stable (rollback
+            # tombstones in place) and heaps enforce no uniqueness.
+            self.accessor.insert(txn, values)
+            return
+        key = self.schema.key_of(values)
+        self.db.locks.acquire(txn, self._lock_key(key), LockMode.EXCLUSIVE, self.db.env.stats)
+        self.accessor.insert(txn, values)
+
+    def update(self, txn: Transaction, key: tuple, changes: dict) -> tuple:
+        """Update non-key columns of the row at ``key``; returns new row."""
+        self.db.require_writable()
+        txn.require_active()
+        if self.info.is_heap:
+            raise CatalogError(f"heap {self.name!r} does not support update")
+        key = tuple(key)
+        self.db.locks.acquire(txn, self._lock_key(key), LockMode.EXCLUSIVE, self.db.env.stats)
+        current = self.accessor.get(key)
+        if current is None:
+            from repro.errors import KeyNotFoundError
+
+            raise KeyNotFoundError(f"{self.name}: no row with key {key!r}")
+        merged = dict(self.schema.row_as_dict(current))
+        merged.update(changes)
+        new_row = self.schema.row_from_dict(merged)
+        self.accessor.update(txn, key, new_row)
+        return new_row
+
+    def delete(self, txn: Transaction, key: tuple) -> tuple:
+        self.db.require_writable()
+        txn.require_active()
+        if self.info.is_heap:
+            raise CatalogError(f"heap {self.name!r} does not support delete")
+        key = tuple(key)
+        self.db.locks.acquire(txn, self._lock_key(key), LockMode.EXCLUSIVE, self.db.env.stats)
+        return self.accessor.delete(txn, key)
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, key: tuple, txn: Transaction | None = None) -> tuple | None:
+        if self.info.is_heap:
+            raise CatalogError(f"heap {self.name!r} has no key access")
+        key = tuple(key)
+        if txn is not None:
+            self.db.locks.acquire(txn, self._lock_key(key), LockMode.SHARED, self.db.env.stats)
+        return self.accessor.get(key)
+
+    def scan(self, lo: tuple | None = None, hi: tuple | None = None):
+        if self.info.is_heap:
+            yield from self.accessor.scan()
+        else:
+            yield from self.accessor.scan(lo, hi)
+
+    def count(self) -> int:
+        return self.accessor.count()
+
+
+class Database:
+    """A single primary database."""
+
+    def __init__(
+        self,
+        name: str,
+        config: DatabaseConfig | None = None,
+        env: SimEnv | None = None,
+        datafile=None,
+    ) -> None:
+        self.name = name
+        self.config = config if config is not None else DatabaseConfig()
+        self.config.validate()
+        self.env = env if env is not None else SimEnv.for_tests()
+        if datafile is None:
+            datafile = MemoryDataFile(self.config.page_size)
+        self.file_manager = FileManager(datafile, self.env.data_device, self.env.stats)
+        self.log = LogManager(
+            self.env,
+            block_size=self.config.log_block_size,
+            cache_blocks=self.config.log_cache_blocks,
+        )
+        self.buffer = BufferPool(
+            self.file_manager,
+            self.config.buffer_pool_pages,
+            self.env.stats,
+            self.log,
+        )
+        self.locks = LockManager()
+        self.txns = TransactionManager(self.env, self.log, self.locks)
+        self.txns.undo_context = self
+        self.modifier = PageModifier(self.log, self.config.extensions, self.env)
+        self.alloc = AllocationManager(self.buffer, self.modifier, self.run_system_txn)
+        self.services = BTreeServices(
+            env=self.env,
+            fetch=self.fetch_page,
+            modifier=self.modifier,
+            alloc=self.alloc,
+            system_txn=self.run_system_txn,
+        )
+        self.catalog = Catalog(self.services)
+        self.read_only = False
+        self.last_checkpoint_lsn = NULL_LSN
+        self._boot_cache: BootRecord | None = None
+        self._table_cache: dict[str, Table] = {}
+        self._tree_cache: dict[int, BTree] = {}
+        #: Registered snapshot objects (engine wires these).
+        self.snapshots: dict[str, object] = {}
+        if self._is_fresh():
+            self._bootstrap()
+        else:
+            self._load_boot()
+
+    # ------------------------------------------------------------------
+    # Bootstrap / boot page
+    # ------------------------------------------------------------------
+
+    def _is_fresh(self) -> bool:
+        return (
+            self.log.end_lsn == FIRST_LSN
+            and self.file_manager.page_count == 0
+        )
+
+    def _bootstrap(self) -> None:
+        """Create the boot page, allocation map, and system catalog."""
+        from repro.catalog.catalog import (
+            SYS_COLUMNS_ID,
+            SYS_COLUMNS_ROOT,
+            SYS_COLUMNS_SCHEMA,
+            SYS_OBJECTS_ID,
+            SYS_OBJECTS_ROOT,
+            SYS_OBJECTS_SCHEMA,
+            KIND_SYSTEM,
+        )
+
+        txn = self.txns.begin(system=True)
+        with self.fetch_page(BOOT_PAGE_ID, create=True) as guard:
+            self.modifier.format_page(txn, guard, PageType.BOOT)
+            boot = BootRecord(
+                last_checkpoint_lsn=NULL_LSN,
+                undo_interval_s=self.config.undo_interval_s,
+                created_wall=self.env.clock.now(),
+            )
+            rec = InsertRowRecord(
+                slot=BOOT_SLOT,
+                row=boot.pack(),
+                page_id=BOOT_PAGE_ID,
+                object_id=0,
+            )
+            self.modifier.apply(txn, guard, rec)
+        for expected_root in (SYS_OBJECTS_ROOT, SYS_COLUMNS_ROOT):
+            pid, was_ever = self.alloc.allocate(txn, None)
+            if pid != expected_root:
+                raise CatalogError(
+                    f"bootstrap allocated page {pid}, expected {expected_root}"
+                )
+            guard = self.fetch_page(pid, create=True)
+            with guard:
+                self.modifier.format_page(
+                    txn,
+                    guard,
+                    PageType.BTREE,
+                    object_id=SYS_OBJECTS_ID if pid == SYS_OBJECTS_ROOT else SYS_COLUMNS_ID,
+                    level=0,
+                    was_ever_allocated=was_ever,
+                )
+        self.catalog.sys_objects.insert(
+            txn, (SYS_OBJECTS_ID, "sys_objects", KIND_SYSTEM, SYS_OBJECTS_ROOT)
+        )
+        self.catalog.sys_objects.insert(
+            txn, (SYS_COLUMNS_ID, "sys_columns", KIND_SYSTEM, SYS_COLUMNS_ROOT)
+        )
+        for object_id, schema in (
+            (SYS_OBJECTS_ID, SYS_OBJECTS_SCHEMA),
+            (SYS_COLUMNS_ID, SYS_COLUMNS_SCHEMA),
+        ):
+            key_order = {name: pos for pos, name in enumerate(schema.key)}
+            for pos, col in enumerate(schema.columns):
+                self.catalog.sys_columns.insert(
+                    txn,
+                    (
+                        object_id,
+                        pos,
+                        col.name,
+                        col.ctype.value,
+                        col.max_len,
+                        col.nullable,
+                        col.name in key_order,
+                        key_order.get(col.name, 0),
+                    ),
+                )
+        self.txns.commit(txn)
+        self.checkpoint()
+
+    def _load_boot(self) -> None:
+        with self.fetch_page(BOOT_PAGE_ID) as guard:
+            boot = read_boot_record(guard.page)
+        self._boot_cache = boot
+        self.last_checkpoint_lsn = boot.last_checkpoint_lsn
+
+    def boot_record(self) -> BootRecord:
+        if self._boot_cache is None:
+            self._load_boot()
+        return self._boot_cache
+
+    def update_boot(self, **changes) -> None:
+        """Apply changes to the boot record (logged, system transaction)."""
+
+        def work(txn) -> None:
+            with self.fetch_page(BOOT_PAGE_ID) as guard:
+                old = read_boot_record(guard.page)
+                new = old.with_changes(**changes)
+                rec = UpdateRowRecord(
+                    slot=BOOT_SLOT,
+                    old=old.pack(),
+                    new=new.pack(),
+                    page_id=BOOT_PAGE_ID,
+                    object_id=0,
+                )
+                self.modifier.apply(txn, guard, rec)
+                self._boot_cache = new
+
+        self.run_system_txn(work)
+
+    # ------------------------------------------------------------------
+    # Undo-context protocol
+    # ------------------------------------------------------------------
+
+    def fetch_page(self, page_id: int, create: bool = False):
+        return self.buffer.fetch(page_id, create=create)
+
+    def tree_for_object(self, object_id: int) -> BTree | None:
+        from repro.catalog.catalog import SYS_COLUMNS_ID, SYS_OBJECTS_ID
+
+        if object_id == SYS_OBJECTS_ID:
+            return self.catalog.sys_objects
+        if object_id == SYS_COLUMNS_ID:
+            return self.catalog.sys_columns
+        tree = self._tree_cache.get(object_id)
+        if tree is not None:
+            return tree
+        info = self.catalog.get_by_id(object_id)
+        if info is None or info.is_heap:
+            return None
+        schema = self.catalog.load_schema(info)
+        tree = BTree(
+            object_id=object_id,
+            root_page_id=info.root_page,
+            schema=schema,
+            services=self.services,
+        )
+        self._tree_cache[object_id] = tree
+        return tree
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def require_writable(self) -> None:
+        if self.read_only:
+            raise SnapshotReadOnlyError(f"database {self.name!r} is read-only")
+
+    def begin(self) -> Transaction:
+        self.require_writable()
+        return self.txns.begin()
+
+    def commit(self, txn: Transaction) -> None:
+        self.txns.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.txns.rollback(txn)
+
+    def savepoint(self, txn: Transaction, name: str) -> None:
+        self.txns.savepoint(txn, name)
+
+    def rollback_to(self, txn: Transaction, name: str) -> None:
+        self.txns.rollback_to_savepoint(txn, name)
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction() as txn:`` — commit on success, roll back
+        on exception."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.rollback(txn)
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def run_system_txn(self, fn):
+        """Run ``fn(txn)`` in an immediately-committed system transaction."""
+        txn = self.txns.begin(system=True)
+        try:
+            result = fn(txn)
+        except BaseException:
+            if txn.is_active:
+                self.txns.rollback(txn)
+            raise
+        self.txns.commit(txn)
+        return result
+
+    # ------------------------------------------------------------------
+    # DDL and table access
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, txn: Transaction | None = None, *, heap: bool = False) -> Table:
+        self.require_writable()
+        kind = KIND_HEAP if heap else KIND_TABLE
+        if txn is None:
+            with self.transaction() as auto_txn:
+                self.catalog.create_table(auto_txn, schema, kind=kind)
+        else:
+            self.catalog.create_table(txn, schema, kind=kind)
+        self._table_cache.pop(schema.name, None)
+        return self.table(schema.name)
+
+    def drop_table(self, name: str, txn: Transaction | None = None) -> None:
+        self.require_writable()
+        if txn is None:
+            with self.transaction() as auto_txn:
+                info = self.catalog.drop_table(auto_txn, name)
+        else:
+            info = self.catalog.drop_table(txn, name)
+        self._table_cache.pop(name, None)
+        self._tree_cache.pop(info.object_id, None)
+
+    def table(self, name: str) -> Table:
+        cached = self._table_cache.get(name)
+        if cached is not None:
+            return cached
+        info = self.catalog.require(name)
+        schema = self.catalog.load_schema(info)
+        handle = Table(self, info, schema)
+        self._table_cache[name] = handle
+        return handle
+
+    def tables(self) -> list[str]:
+        return [obj.name for obj in self.catalog.list_objects()]
+
+    # -- reader protocol (shared with snapshots) -------------------------
+
+    def get(self, table: str, key: tuple, txn: Transaction | None = None):
+        return self.table(table).get(tuple(key), txn)
+
+    def scan(self, table: str, lo: tuple | None = None, hi: tuple | None = None):
+        return self.table(table).scan(lo, hi)
+
+    def insert(self, txn: Transaction, table: str, row) -> None:
+        self.table(table).insert(txn, row)
+
+    def update(self, txn: Transaction, table: str, key: tuple, changes: dict):
+        return self.table(table).update(txn, key, changes)
+
+    def delete(self, txn: Transaction, table: str, key: tuple):
+        return self.table(table).delete(txn, key)
+
+    # ------------------------------------------------------------------
+    # Checkpoints, retention, crash/recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Take a checkpoint; returns the checkpoint-begin LSN."""
+        from repro.engine.checkpoint import take_checkpoint
+
+        return take_checkpoint(self)
+
+    def set_undo_interval(self, seconds: float) -> None:
+        """``ALTER DATABASE ... SET UNDO_INTERVAL`` (section 4.3)."""
+        if seconds <= 0:
+            raise ValueError("undo interval must be positive")
+        self.update_boot(undo_interval_s=float(seconds))
+
+    @property
+    def undo_interval_s(self) -> float:
+        return self.boot_record().undo_interval_s
+
+    def enforce_retention(self) -> int:
+        """Truncate log outside the retention window; returns new start LSN."""
+        from repro.core.retention import enforce_retention
+
+        return enforce_retention(self)
+
+    def crash(self) -> None:
+        """Simulate an abrupt stop: volatile state disappears."""
+        self.buffer.crash()
+        self.log.crash()
+        self.locks = LockManager()
+        self.txns = TransactionManager(self.env, self.log, self.locks)
+        self.txns.undo_context = self
+        self._boot_cache = None
+        self._table_cache.clear()
+        self._tree_cache.clear()
+        self.alloc._hints.clear()
+        self.snapshots.clear()
+
+    def recover(self) -> None:
+        """ARIES crash recovery (analysis, redo, undo)."""
+        from repro.engine.recovery import run_crash_recovery
+
+        run_crash_recovery(self)
+        self._boot_cache = None
+        self._load_boot()
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, pages={self.file_manager.page_count})"

@@ -1,0 +1,123 @@
+"""The Engine: databases and snapshots on one simulated machine."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from typing import TYPE_CHECKING
+
+from repro.config import DatabaseConfig, SimEnv
+from repro.engine.database import Database
+from repro.errors import CatalogError, SnapshotError
+from repro.sim.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.asof import AsOfSnapshot
+    from repro.snapshot.base import RegularSnapshot
+
+
+class Engine:
+    """Top-level entry point: owns databases and their snapshots.
+
+    All databases share one :class:`~repro.config.SimEnv` (one simulated
+    machine: one clock, shared data/log devices) — the paper's concurrent
+    experiment (section 6.3) depends on snapshots and the OLTP workload
+    competing for the same media.
+    """
+
+    def __init__(self, env: SimEnv | None = None, config: DatabaseConfig | None = None) -> None:
+        self.env = env if env is not None else SimEnv.for_tests()
+        self.default_config = config if config is not None else DatabaseConfig()
+        self.databases: dict[str, Database] = {}
+        self.snapshots: dict[str, "AsOfSnapshot"] = {}
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+
+    def create_database(self, name: str, config: DatabaseConfig | None = None) -> Database:
+        if name in self.databases or name in self.snapshots:
+            raise CatalogError(f"database {name!r} already exists")
+        db = Database(name, config or self.default_config, self.env)
+        self.databases[name] = db
+        return db
+
+    def database(self, name: str) -> Database:
+        db = self.databases.get(name)
+        if db is None:
+            raise CatalogError(f"no such database: {name!r}")
+        return db
+
+    def drop_database(self, name: str) -> None:
+        db = self.database(name)
+        for snap_name in [n for n, s in self.snapshots.items() if s.db is db]:
+            self.drop_snapshot(snap_name)
+        del self.databases[name]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def resolve_as_of(self, as_of) -> float:
+        """Normalize an as-of spec (simulated seconds, datetime, or an ISO
+        string like the paper's ``'2012-03-22 17:26:25.473'``) to simulated
+        seconds."""
+        if isinstance(as_of, (int, float)):
+            return float(as_of)
+        if isinstance(as_of, datetime):
+            return SimClock.from_datetime(as_of)
+        if isinstance(as_of, str):
+            moment = datetime.fromisoformat(as_of)
+            return SimClock.from_datetime(moment)
+        raise ValueError(f"cannot interpret as-of time {as_of!r}")
+
+    def create_asof_snapshot(self, db_name: str, snap_name: str, as_of) -> "AsOfSnapshot":
+        """``CREATE DATABASE snap AS SNAPSHOT OF db AS OF '...'``."""
+        from repro.core.asof import AsOfSnapshot
+
+        if snap_name in self.snapshots or snap_name in self.databases:
+            raise SnapshotError(f"name {snap_name!r} already in use")
+        db = self.database(db_name)
+        snap = AsOfSnapshot.create(db, snap_name, self.resolve_as_of(as_of))
+        self.snapshots[snap_name] = snap
+        db.snapshots[snap_name] = snap
+        return snap
+
+    def create_snapshot(self, db_name: str, snap_name: str) -> "RegularSnapshot":
+        """``CREATE DATABASE snap AS SNAPSHOT OF db`` (copy-on-write)."""
+        from repro.snapshot.base import RegularSnapshot
+
+        if snap_name in self.snapshots or snap_name in self.databases:
+            raise SnapshotError(f"name {snap_name!r} already in use")
+        db = self.database(db_name)
+        snap = RegularSnapshot.create_now(db, snap_name)
+        self.snapshots[snap_name] = snap
+        db.snapshots[snap_name] = snap
+        return snap
+
+    def snapshot(self, name: str) -> "AsOfSnapshot":
+        snap = self.snapshots.get(name)
+        if snap is None:
+            raise SnapshotError(f"no such snapshot: {name!r}")
+        return snap
+
+    def drop_snapshot(self, name: str) -> None:
+        snap = self.snapshot(name)
+        snap.drop()
+        snap.db.snapshots.pop(name, None)
+        del self.snapshots[name]
+
+    # ------------------------------------------------------------------
+
+    def sql(self, text: str, database: str | None = None):
+        """Execute SQL against this engine (see :mod:`repro.sql`)."""
+        from repro.sql.executor import Session
+
+        session = Session(self, database)
+        return session.execute(text)
+
+    def session(self, database: str | None = None):
+        """An interactive SQL session bound to this engine."""
+        from repro.sql.executor import Session
+
+        return Session(self, database)

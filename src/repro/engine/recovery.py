@@ -1,0 +1,144 @@
+"""ARIES crash recovery: analysis, redo, undo.
+
+Standard three-pass recovery over the durable log tail:
+
+* **Analysis** scans from the last checkpoint, rebuilding the active
+  transaction table (seeded from the checkpoint record) and the dirty page
+  table (first-modifier LSN per page).
+* **Redo** repeats history from the oldest first-modifier LSN, gated by
+  each page's ``pageLSN``.
+* **Undo** rolls back loser transactions with the same logical-undo
+  machinery live rollback uses, logging CLRs; a crash during recovery
+  resumes exactly where it left off (CLR ``undo_next`` chains).
+
+The as-of snapshot recovery of paper section 5.2 is a variant of the
+analysis pass (bounded at the SplitLSN, collecting locks instead of a
+DPT); it lives in :mod:`repro.core.asof` but shares
+:func:`analyze_log` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.boot import BOOT_PAGE_ID, read_boot_record
+from repro.errors import RecoveryError
+from repro.txn.transaction import RecoveredTransaction
+from repro.txn.undo import LogicalUndo
+from repro.wal.lsn import FIRST_LSN, NULL_LSN
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointBeginRecord,
+    CommitRecord,
+    PageImageRecord,
+)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of the analysis pass."""
+
+    #: txn_id -> last seen LSN for transactions with no commit/abort.
+    losers: dict[int, int] = field(default_factory=dict)
+    #: page_id -> first modifying LSN since the scan start.
+    dirty_pages: dict[int, int] = field(default_factory=dict)
+    #: Highest transaction id observed (to re-seed the id generator).
+    max_txn_id: int = 0
+    #: txn_id -> list of (object_id, key_bytes) touched by in-flight txns
+    #: (used by as-of snapshot recovery to re-acquire locks).
+    loser_locks: dict[int, list] = field(default_factory=dict)
+    #: LSN the scan actually stopped at.
+    end_lsn: int = NULL_LSN
+
+
+def analyze_log(log, start_lsn: int, to_lsn: int | None = None) -> AnalysisResult:
+    """Scan ``[start_lsn, to_lsn)`` rebuilding transaction and page state."""
+    result = AnalysisResult()
+    for rec in log.scan(start_lsn, to_lsn, stop_on_torn_tail=True):
+        result.end_lsn = rec.lsn
+        if isinstance(rec, CheckpointBeginRecord) and rec.lsn == start_lsn:
+            for txn_id, last_lsn in rec.active_txns:
+                result.losers[txn_id] = last_lsn
+                result.max_txn_id = max(result.max_txn_id, txn_id)
+            continue
+        if rec.txn_id:
+            result.max_txn_id = max(result.max_txn_id, rec.txn_id)
+        if isinstance(rec, BeginRecord):
+            result.losers[rec.txn_id] = rec.lsn
+        elif isinstance(rec, (CommitRecord, AbortRecord)):
+            result.losers.pop(rec.txn_id, None)
+            result.loser_locks.pop(rec.txn_id, None)
+        elif rec.IS_PAGE_MOD:
+            if rec.txn_id in result.losers:
+                result.losers[rec.txn_id] = rec.lsn
+                key_bytes = getattr(rec, "key_bytes", b"")
+                if key_bytes and not rec.is_smo:
+                    result.loser_locks.setdefault(rec.txn_id, []).append(
+                        (rec.object_id, key_bytes)
+                    )
+            result.dirty_pages.setdefault(rec.page_id, rec.lsn)
+    return result
+
+
+def redo_pass(db, analysis: AnalysisResult, to_lsn: int | None = None) -> int:
+    """Repeat history; returns the number of records replayed."""
+    if not analysis.dirty_pages:
+        return 0
+    redo_start = min(analysis.dirty_pages.values())
+    replayed = 0
+    for rec in db.log.scan(redo_start, to_lsn, stop_on_torn_tail=True):
+        if not rec.IS_PAGE_MOD:
+            continue
+        first_lsn = analysis.dirty_pages.get(rec.page_id)
+        if first_lsn is None or rec.lsn < first_lsn:
+            continue
+        with db.fetch_page(rec.page_id) as guard:
+            page = guard.page
+            if page.is_formatted() and page.page_lsn >= rec.lsn:
+                continue
+            rec.redo(page, fetch=db.log.undo_fetch)
+            page.page_lsn = rec.lsn
+            if isinstance(rec, PageImageRecord):
+                page.last_image_lsn = rec.lsn
+            guard.mark_dirty()
+        db.env.charge_cpu(db.env.cost.redo_record_cpu_s)
+        replayed += 1
+    return replayed
+
+
+def undo_pass(db, analysis: AnalysisResult) -> int:
+    """Roll back loser transactions; returns how many were undone."""
+    undo = LogicalUndo(db)
+    undone = 0
+    for txn_id, last_lsn in sorted(
+        analysis.losers.items(), key=lambda item: item[1], reverse=True
+    ):
+        loser = RecoveredTransaction(txn_id)
+        loser.last_lsn = last_lsn
+        undo.rollback_chain(loser, last_lsn)
+        db.log.append(AbortRecord(txn_id=txn_id, prev_txn_lsn=loser.last_lsn))
+        undone += 1
+    if undone:
+        db.log.flush()
+    return undone
+
+
+def run_crash_recovery(db) -> AnalysisResult:
+    """Full ARIES restart for ``db``; returns the analysis result."""
+    # The boot page tells us where the last checkpoint was. A database
+    # that never completed bootstrap is unrecoverable by construction.
+    with db.fetch_page(BOOT_PAGE_ID) as guard:
+        if not guard.page.is_formatted():
+            raise RecoveryError(
+                f"database {db.name!r}: boot page missing; nothing to recover"
+            )
+        boot = read_boot_record(guard.page)
+    start = boot.last_checkpoint_lsn or FIRST_LSN
+    analysis = analyze_log(db.log, start)
+    redo_pass(db, analysis)
+    undo_pass(db, analysis)
+    db.txns.adopt_txn_id_floor(analysis.max_txn_id)
+    db.last_checkpoint_lsn = boot.last_checkpoint_lsn
+    db.checkpoint()
+    return analysis

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the repro database engine.
+
+All engine errors derive from :class:`ReproError` so callers can catch the
+whole family with a single ``except`` clause while still being able to
+discriminate precise failure modes (corruption vs. retention vs. locking).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class StorageError(ReproError):
+    """A problem in the page/file layer (bad page id, out-of-range I/O)."""
+
+
+class PageCorruptionError(StorageError):
+    """A page failed its checksum or structural validation on read."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit on the target page.
+
+    Access methods catch this internally to trigger page splits; it escapes
+    only when a single record is larger than a page can ever hold.
+    """
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse: unpinning an unpinned page, latch violations."""
+
+
+class AllocationError(StorageError):
+    """Allocation-map inconsistency (double allocation / double free)."""
+
+
+class WalError(ReproError):
+    """A problem in the write-ahead-log layer."""
+
+
+class LogTruncatedError(WalError):
+    """An LSN below the log's retention horizon was requested.
+
+    Raised by the log reader when page-oriented undo walks a ``prevPageLSN``
+    chain past the truncation point, and by SplitLSN search when the
+    requested wall-clock time precedes the retained log.
+    """
+
+
+class LogRecordDecodeError(WalError):
+    """A log record failed to deserialize (torn write / corruption)."""
+
+
+class MissingUndoInfoError(WalError):
+    """A log record on the undo path carries no undo information.
+
+    This happens only when the paper's logging extensions (undo info in
+    CLRs and in structure-modification deletes) are disabled — it is the
+    precise failure mode the extensions of section 4.2 exist to prevent.
+    """
+
+
+class TransactionError(ReproError):
+    """Transaction misuse (operating on a finished transaction, etc.)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (by deadlock or explicit abort)."""
+
+
+class LockError(TransactionError):
+    """Lock manager failure."""
+
+
+class DeadlockError(LockError):
+    """A lock request would create a cycle in the wait-for graph."""
+
+
+class LockTimeoutError(LockError):
+    """A lock request waited past its timeout."""
+
+
+class CatalogError(ReproError):
+    """Metadata problem: unknown table, duplicate name, schema mismatch."""
+
+
+class DuplicateKeyError(ReproError):
+    """A unique-key insert collided with an existing row."""
+
+
+class KeyNotFoundError(ReproError):
+    """A point lookup, update or delete referenced a missing key."""
+
+
+class SnapshotError(ReproError):
+    """Snapshot lifecycle problem (duplicate name, unknown snapshot)."""
+
+
+class SnapshotReadOnlyError(SnapshotError):
+    """A write was attempted through a (read-only) snapshot session."""
+
+
+class RetentionExceededError(SnapshotError):
+    """The requested as-of time lies before the retention horizon.
+
+    Mirrors the paper's retention period (section 4.3): the transaction log
+    is only retained for ``UNDO_INTERVAL``; earlier points in time are not
+    reachable by page-oriented undo.
+    """
+
+
+class BackupError(ReproError):
+    """Backup/restore failure (missing log range, bad backup chain)."""
+
+
+class RecoveryError(ReproError):
+    """ARIES recovery could not complete (missing log, bad checkpoint)."""
+
+
+class SqlError(ReproError):
+    """SQL front-end failure."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text failed to tokenize or parse."""
+
+
+class SqlExecutionError(SqlError):
+    """A parsed statement failed during execution (unknown column, etc.)."""

@@ -1,0 +1,29 @@
+"""Simulated execution environment: wall clock, storage devices, counters.
+
+The paper's evaluation (section 6) ran on a physical testbed (SAS-10K
+spindles and SLC SSDs). This package is the substitution for that hardware:
+a deterministic simulated clock plus per-device timing models that charge
+seek latency and transfer time for every I/O the engine issues. Benchmarks
+report *simulated* seconds, which reproduce the shape of the paper's
+figures because those figures are I/O bound.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.device import (
+    SAS_10K,
+    SLC_SSD,
+    ZERO_COST,
+    DeviceProfile,
+    SimDevice,
+)
+from repro.sim.iostats import IoStats
+
+__all__ = [
+    "SimClock",
+    "DeviceProfile",
+    "SimDevice",
+    "IoStats",
+    "SAS_10K",
+    "SLC_SSD",
+    "ZERO_COST",
+]

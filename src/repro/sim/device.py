@@ -1,0 +1,147 @@
+"""Storage device timing models (the paper's SAS-10K and SLC-SSD media).
+
+Each :class:`SimDevice` wraps a :class:`DeviceProfile` and a shared
+:class:`~repro.sim.clock.SimClock`. Serving an I/O advances the clock by
+``latency + size / bandwidth``, so simulated end-to-end times emerge from
+the exact sequence of I/Os the engine issues — random log reads during
+page-oriented undo stall on rotating media and barely register on SSD,
+which is precisely the SAS/SSD contrast in Figures 7-10.
+
+Profiles are calibrated to the paper's hardware (section 6): 146 GB 2.5"
+10K-RPM SAS disks and 32 GB SLC SSDs, using publicly documented
+characteristics of that hardware generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.iostats import IoStats
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Timing characteristics of a storage medium.
+
+    Bandwidths are bytes/second; latencies are seconds per operation.
+    Sequential operations pay ``seq_latency_s`` once per call (modeling the
+    request overhead of a large streaming I/O) plus transfer time; random
+    operations pay the per-op random latency plus transfer time.
+    """
+
+    name: str
+    seq_read_bw: float
+    seq_write_bw: float
+    rand_read_latency_s: float
+    rand_write_latency_s: float
+    seq_latency_s: float = 0.0002
+
+    def seq_read_time(self, nbytes: int) -> float:
+        """Seconds to stream-read ``nbytes``."""
+        return self.seq_latency_s + nbytes / self.seq_read_bw
+
+    def seq_write_time(self, nbytes: int) -> float:
+        """Seconds to stream-write ``nbytes``."""
+        return self.seq_latency_s + nbytes / self.seq_write_bw
+
+    def rand_read_time(self, nbytes: int) -> float:
+        """Seconds for one random read of ``nbytes``."""
+        return self.rand_read_latency_s + nbytes / self.seq_read_bw
+
+    def rand_write_time(self, nbytes: int) -> float:
+        """Seconds for one random write of ``nbytes``."""
+        return self.rand_write_latency_s + nbytes / self.seq_write_bw
+
+
+#: 10K-RPM 2.5" SAS spindle: ~3 ms seek + 3 ms rotational delay, ~120 MB/s.
+SAS_10K = DeviceProfile(
+    name="sas-10k",
+    seq_read_bw=120e6,
+    seq_write_bw=110e6,
+    rand_read_latency_s=0.0062,
+    rand_write_latency_s=0.0068,
+)
+
+#: SLC SSD of the 2011 generation: ~0.1 ms reads, ~0.25 ms writes, ~220 MB/s.
+SLC_SSD = DeviceProfile(
+    name="slc-ssd",
+    seq_read_bw=220e6,
+    seq_write_bw=180e6,
+    rand_read_latency_s=0.00012,
+    rand_write_latency_s=0.00025,
+    seq_latency_s=0.00005,
+)
+
+#: Free I/O — used by unit tests that assert logic, not timing.
+ZERO_COST = DeviceProfile(
+    name="zero-cost",
+    seq_read_bw=float("inf"),
+    seq_write_bw=float("inf"),
+    rand_read_latency_s=0.0,
+    rand_write_latency_s=0.0,
+    seq_latency_s=0.0,
+)
+
+
+class SimDevice:
+    """A device instance bound to a clock: serving I/O advances the clock.
+
+    ``busy_seconds`` accumulates pure device time, which the concurrent
+    experiment (section 6.3) uses to attribute throughput loss to as-of
+    query traffic sharing the media with the OLTP workload.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        clock: SimClock,
+        stats: IoStats | None = None,
+    ) -> None:
+        self.profile = profile
+        self.clock = clock
+        self.stats = stats if stats is not None else IoStats()
+        self.busy_seconds = 0.0
+        self.ops = 0
+
+    def _charge(self, seconds: float) -> float:
+        self.clock.advance(seconds)
+        self.busy_seconds += seconds
+        self.ops += 1
+        return seconds
+
+    def read_random(self, nbytes: int) -> float:
+        """Charge one random read; returns seconds spent."""
+        return self._charge(self.profile.rand_read_time(nbytes))
+
+    def write_random(self, nbytes: int) -> float:
+        """Charge one random write; returns seconds spent."""
+        return self._charge(self.profile.rand_write_time(nbytes))
+
+    def read_seq(self, nbytes: int) -> float:
+        """Charge one sequential (streaming) read; returns seconds spent."""
+        return self._charge(self.profile.seq_read_time(nbytes))
+
+    def write_seq(self, nbytes: int) -> float:
+        """Charge one sequential (streaming) write; returns seconds spent."""
+        return self._charge(self.profile.seq_write_time(nbytes))
+
+    def write_seq_async(self, nbytes: int) -> float:
+        """Submit a sequential write that drains in the background.
+
+        The caller waits only for the submission latency; the transfer
+        time accrues as device *utilization* (``busy_seconds``) without
+        stalling the clock. This models group-committed log writes: the
+        paper observes throughput tracks the number of log records, not
+        their size, because the sequential bandwidth "is easily
+        sustainable" — a claim checkable here as busy_seconds staying
+        below wall time.
+        """
+        self.busy_seconds += nbytes / self.profile.seq_write_bw
+        return self._charge(self.profile.seq_latency_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimDevice({self.profile.name}, ops={self.ops}, "
+            f"busy={self.busy_seconds:.3f}s)"
+        )

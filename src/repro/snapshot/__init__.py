@@ -1,0 +1,6 @@
+"""Regular (copy-on-write) database snapshots — the feature the paper
+extends (section 2.2)."""
+
+from repro.snapshot.base import RegularSnapshot
+
+__all__ = ["RegularSnapshot"]

@@ -1,0 +1,12 @@
+"""A small SQL dialect: the paper's application surface.
+
+Covers the statements the paper's workflows use — snapshot DDL
+(``CREATE DATABASE ... AS SNAPSHOT OF ... AS OF '...'``), retention
+configuration (``ALTER DATABASE ... SET UNDO_INTERVAL = 24 HOURS``),
+and the ``INSERT ... SELECT`` reconcile step of dropped-table recovery —
+plus enough general DML/queries to drive examples end to end.
+"""
+
+from repro.sql.executor import Result, Session
+
+__all__ = ["Session", "Result"]

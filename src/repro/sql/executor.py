@@ -1,0 +1,451 @@
+"""SQL execution over the engine (databases and snapshots).
+
+A :class:`Session` is bound to an engine plus a current target — a live
+database or a snapshot (``USE snap_name``). Reads work against either;
+writes require a live database. The paper's reconcile step is a plain
+``INSERT INTO t SELECT ... FROM snap.t`` across the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import TableSchema
+from repro.errors import (
+    SnapshotReadOnlyError,
+    SqlExecutionError,
+)
+from repro.sql.parser import (
+    Aggregate,
+    AlterUndoInterval,
+    Binary,
+    Checkpoint,
+    ColumnRef,
+    CreateDatabase,
+    CreateSnapshot,
+    CreateTable,
+    Delete,
+    DropDatabase,
+    DropTable,
+    Insert,
+    IsNull,
+    Literal,
+    STAR,
+    Select,
+    Show,
+    TableRef,
+    TxnControl,
+    Unary,
+    Update,
+    Use,
+    parse_script,
+)
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    columns: tuple = ()
+    rows: list = field(default_factory=list)
+    rowcount: int = 0
+    message: str = ""
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise SqlExecutionError("result is not a single scalar")
+        return self.rows[0][0]
+
+    def __repr__(self) -> str:
+        if self.columns:
+            return f"Result({len(self.rows)} rows, columns={self.columns})"
+        return f"Result(rowcount={self.rowcount}, message={self.message!r})"
+
+
+def _eval(expr, row: dict):
+    """Evaluate an expression against a row mapping (None-propagating)."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        if expr.name not in row:
+            raise SqlExecutionError(f"unknown column {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, Unary):
+        value = _eval(expr.operand, row)
+        if expr.op == "-":
+            return None if value is None else -value
+        if expr.op == "NOT":
+            return None if value is None else (not value)
+        raise SqlExecutionError(f"unknown unary operator {expr.op}")
+    if isinstance(expr, IsNull):
+        value = _eval(expr.operand, row)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, Binary):
+        if expr.op == "AND":
+            return bool(_eval(expr.left, row)) and bool(_eval(expr.right, row))
+        if expr.op == "OR":
+            return bool(_eval(expr.left, row)) or bool(_eval(expr.right, row))
+        left = _eval(expr.left, row)
+        right = _eval(expr.right, row)
+        if left is None or right is None:
+            return None
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise SqlExecutionError(f"unknown operator {expr.op}")
+    raise SqlExecutionError(f"cannot evaluate {expr!r}")
+
+
+def _expr_name(expr, alias, index) -> str:
+    if alias:
+        return alias
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Aggregate):
+        return expr.func.lower()
+    return f"col{index}"
+
+
+class Session:
+    """One SQL session against an engine."""
+
+    def __init__(self, engine, database: str | None = None) -> None:
+        self.engine = engine
+        self.current = database
+        self.txn = None
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+
+    def _reader_for(self, ref: TableRef):
+        """Database or snapshot serving reads for ``ref``."""
+        name = ref.database or self.current
+        if name is None:
+            raise SqlExecutionError("no database selected (USE <name>)")
+        if name in self.engine.databases:
+            return self.engine.databases[name]
+        if name in self.engine.snapshots:
+            return self.engine.snapshots[name]
+        raise SqlExecutionError(f"unknown database or snapshot {name!r}")
+
+    def _writer_for(self, ref: TableRef):
+        target = self._reader_for(ref)
+        if ref.database is None and self.current in self.engine.snapshots:
+            raise SnapshotReadOnlyError("snapshots are read-only")
+        if target not in self.engine.databases.values():
+            raise SnapshotReadOnlyError("snapshots are read-only")
+        return target
+
+    def _schema_of(self, reader, table: str) -> TableSchema:
+        handle = reader.table(table)
+        return handle.schema
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute(self, text: str) -> Result:
+        """Execute a script; returns the last statement's result."""
+        result = Result()
+        for statement in parse_script(text):
+            result = self._dispatch(statement)
+        return result
+
+    def execute_all(self, text: str) -> list[Result]:
+        return [self._dispatch(stmt) for stmt in parse_script(text)]
+
+    def _dispatch(self, stmt) -> Result:
+        handler = {
+            Select: self._do_select,
+            Insert: self._do_insert,
+            Update: self._do_update,
+            Delete: self._do_delete,
+            CreateTable: self._do_create_table,
+            DropTable: self._do_drop_table,
+            CreateSnapshot: self._do_create_snapshot,
+            CreateDatabase: self._do_create_database,
+            DropDatabase: self._do_drop_database,
+            AlterUndoInterval: self._do_alter,
+            TxnControl: self._do_txn,
+            Checkpoint: self._do_checkpoint,
+            Use: self._do_use,
+            Show: self._do_show,
+        }.get(type(stmt))
+        if handler is None:
+            raise SqlExecutionError(f"unsupported statement {type(stmt).__name__}")
+        return handler(stmt)
+
+    # ------------------------------------------------------------------
+    # Write transaction plumbing (autocommit unless BEGIN is open)
+    # ------------------------------------------------------------------
+
+    def _write(self, db, fn) -> Result:
+        if self.txn is not None:
+            return fn(self.txn)
+        with db.transaction() as txn:
+            return fn(txn)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _select_rows(self, stmt: Select):
+        reader = self._reader_for(stmt.table)
+        schema = self._schema_of(reader, stmt.table.name)
+        names = schema.column_names
+        out = []
+        for row in reader.scan(stmt.table.name):
+            mapping = dict(zip(names, row))
+            if stmt.where is not None and not _eval(stmt.where, mapping):
+                continue
+            out.append(mapping)
+        return out, schema
+
+    def _do_select(self, stmt: Select) -> Result:
+        filtered, schema = self._select_rows(stmt)
+        aggregates = [
+            item for item, _alias in stmt.items if isinstance(item, Aggregate)
+        ]
+        if aggregates:
+            if len(aggregates) != len(stmt.items):
+                raise SqlExecutionError(
+                    "aggregate queries cannot mix plain columns (no GROUP BY)"
+                )
+            values = []
+            columns = []
+            for index, (agg, alias) in enumerate(stmt.items):
+                values.append(self._aggregate(agg, filtered))
+                columns.append(_expr_name(agg, alias, index))
+            return Result(tuple(columns), [tuple(values)], rowcount=1)
+
+        if stmt.order_by:
+            for col, ascending in reversed(stmt.order_by):
+                if col not in schema.column_names:
+                    raise SqlExecutionError(f"unknown ORDER BY column {col!r}")
+                filtered.sort(key=lambda m: m[col], reverse=not ascending)
+
+        columns: list[str] = []
+        projections = []
+        for index, (item, alias) in enumerate(stmt.items):
+            if item is STAR:
+                columns.extend(schema.column_names)
+                projections.append(STAR)
+            else:
+                columns.append(_expr_name(item, alias, index))
+                projections.append(item)
+        rows = []
+        for mapping in filtered:
+            row_out = []
+            for item in projections:
+                if item is STAR:
+                    row_out.extend(mapping[name] for name in schema.column_names)
+                else:
+                    row_out.append(_eval(item, mapping))
+            rows.append(tuple(row_out))
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return Result(tuple(columns), rows, rowcount=len(rows))
+
+    @staticmethod
+    def _aggregate(agg: Aggregate, mappings: list) -> object:
+        if agg.func == "COUNT" and agg.arg is None:
+            return len(mappings)
+        values = [
+            value
+            for mapping in mappings
+            if (value := _eval(agg.arg, mapping)) is not None
+        ]
+        if agg.func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if agg.func == "SUM":
+            return sum(values)
+        if agg.func == "AVG":
+            return sum(values) / len(values)
+        if agg.func == "MIN":
+            return min(values)
+        if agg.func == "MAX":
+            return max(values)
+        raise SqlExecutionError(f"unknown aggregate {agg.func}")
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _do_insert(self, stmt: Insert) -> Result:
+        db = self._writer_for(stmt.table)
+        schema = self._schema_of(db, stmt.table.name)
+        if stmt.source is not None:
+            source_result = self._do_select(stmt.source)
+            raw_rows = source_result.rows
+        else:
+            raw_rows = [
+                tuple(_eval(expr, {}) for expr in row) for row in stmt.rows
+            ]
+        columns = stmt.columns or schema.column_names
+        if len(columns) != len(set(columns)):
+            raise SqlExecutionError("duplicate column in INSERT list")
+
+        def run(txn) -> Result:
+            inserted = 0
+            for values in raw_rows:
+                if len(values) != len(columns):
+                    raise SqlExecutionError(
+                        f"INSERT expects {len(columns)} values, got {len(values)}"
+                    )
+                db.insert(txn, stmt.table.name, dict(zip(columns, values)))
+                inserted += 1
+            return Result(rowcount=inserted, message=f"INSERT {inserted}")
+
+        return self._write(db, run)
+
+    def _do_update(self, stmt: Update) -> Result:
+        db = self._writer_for(stmt.table)
+        schema = self._schema_of(db, stmt.table.name)
+        key_cols = schema.key
+
+        def run(txn) -> Result:
+            matched = []
+            for row in db.scan(stmt.table.name):
+                mapping = dict(zip(schema.column_names, row))
+                if stmt.where is None or _eval(stmt.where, mapping):
+                    matched.append(mapping)
+            for mapping in matched:
+                changes = {
+                    col: _eval(expr, mapping) for col, expr in stmt.assignments
+                }
+                bad_keys = set(changes) & set(key_cols)
+                if bad_keys:
+                    raise SqlExecutionError(
+                        f"cannot UPDATE key columns {sorted(bad_keys)}"
+                    )
+                key = tuple(mapping[c] for c in key_cols)
+                db.update(txn, stmt.table.name, key, changes)
+            return Result(rowcount=len(matched), message=f"UPDATE {len(matched)}")
+
+        return self._write(db, run)
+
+    def _do_delete(self, stmt: Delete) -> Result:
+        db = self._writer_for(stmt.table)
+        schema = self._schema_of(db, stmt.table.name)
+
+        def run(txn) -> Result:
+            keys = []
+            for row in db.scan(stmt.table.name):
+                mapping = dict(zip(schema.column_names, row))
+                if stmt.where is None or _eval(stmt.where, mapping):
+                    keys.append(tuple(mapping[c] for c in schema.key))
+            for key in keys:
+                db.delete(txn, stmt.table.name, key)
+            return Result(rowcount=len(keys), message=f"DELETE {len(keys)}")
+
+        return self._write(db, run)
+
+    # ------------------------------------------------------------------
+    # DDL and control
+    # ------------------------------------------------------------------
+
+    def _do_create_table(self, stmt: CreateTable) -> Result:
+        db = self._writer_for(TableRef(stmt.name))
+        schema = TableSchema(stmt.name, stmt.columns, stmt.key)
+        db.create_table(schema, heap=stmt.heap)
+        return Result(message=f"CREATE TABLE {stmt.name}")
+
+    def _do_drop_table(self, stmt: DropTable) -> Result:
+        db = self._writer_for(TableRef(stmt.name))
+        db.drop_table(stmt.name)
+        return Result(message=f"DROP TABLE {stmt.name}")
+
+    def _do_create_snapshot(self, stmt: CreateSnapshot) -> Result:
+        if stmt.as_of is None:
+            self.engine.create_snapshot(stmt.source, stmt.name)
+        else:
+            self.engine.create_asof_snapshot(stmt.source, stmt.name, stmt.as_of)
+        return Result(message=f"CREATE SNAPSHOT {stmt.name}")
+
+    def _do_create_database(self, stmt: CreateDatabase) -> Result:
+        self.engine.create_database(stmt.name)
+        return Result(message=f"CREATE DATABASE {stmt.name}")
+
+    def _do_drop_database(self, stmt: DropDatabase) -> Result:
+        if stmt.name in self.engine.snapshots:
+            self.engine.drop_snapshot(stmt.name)
+        else:
+            self.engine.drop_database(stmt.name)
+        if self.current == stmt.name:
+            self.current = None
+        return Result(message=f"DROP {stmt.name}")
+
+    def _do_alter(self, stmt: AlterUndoInterval) -> Result:
+        db = self.engine.database(stmt.database)
+        db.set_undo_interval(stmt.seconds)
+        return Result(
+            message=f"ALTER DATABASE {stmt.database} UNDO_INTERVAL={stmt.seconds:.0f}s"
+        )
+
+    def _do_txn(self, stmt: TxnControl) -> Result:
+        if stmt.action in ("SAVEPOINT", "ROLLBACK_TO"):
+            if self.txn is None:
+                raise SqlExecutionError(f"{stmt.action} without BEGIN")
+            db = self.engine.databases[self.current]
+            if stmt.action == "SAVEPOINT":
+                db.savepoint(self.txn, stmt.savepoint)
+                return Result(message=f"SAVEPOINT {stmt.savepoint}")
+            db.rollback_to(self.txn, stmt.savepoint)
+            return Result(message=f"ROLLBACK TO {stmt.savepoint}")
+        if stmt.action == "BEGIN":
+            if self.txn is not None:
+                raise SqlExecutionError("transaction already open")
+            if self.current is None or self.current not in self.engine.databases:
+                raise SqlExecutionError("BEGIN requires a current database")
+            self.txn = self.engine.databases[self.current].begin()
+            return Result(message="BEGIN")
+        if self.txn is None:
+            raise SqlExecutionError(f"{stmt.action} without BEGIN")
+        db = self.engine.databases[self.current]
+        if stmt.action == "COMMIT":
+            db.commit(self.txn)
+        else:
+            db.rollback(self.txn)
+        self.txn = None
+        return Result(message=stmt.action)
+
+    def _do_checkpoint(self, stmt: Checkpoint) -> Result:
+        if self.current is None or self.current not in self.engine.databases:
+            raise SqlExecutionError("CHECKPOINT requires a current database")
+        lsn = self.engine.databases[self.current].checkpoint()
+        return Result(message=f"CHECKPOINT {lsn:#x}")
+
+    def _do_use(self, stmt: Use) -> Result:
+        if stmt.name not in self.engine.databases and stmt.name not in self.engine.snapshots:
+            raise SqlExecutionError(f"unknown database or snapshot {stmt.name!r}")
+        self.current = stmt.name
+        return Result(message=f"USE {stmt.name}")
+
+    def _do_show(self, stmt: Show) -> Result:
+        if stmt.what == "TABLES":
+            reader = self._reader_for(TableRef("_"))
+            rows = [(name,) for name in sorted(reader.tables())]
+            return Result(("name",), rows, rowcount=len(rows))
+        rows = [(name,) for name in sorted(self.engine.snapshots)]
+        return Result(("name",), rows, rowcount=len(rows))

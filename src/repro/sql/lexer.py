@@ -1,0 +1,124 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "DROP", "TABLE", "DATABASE", "SNAPSHOT", "OF", "AS",
+    "PRIMARY", "KEY", "NOT", "NULL", "AND", "OR", "IS", "TRUE", "FALSE",
+    "BEGIN", "COMMIT", "ROLLBACK", "CHECKPOINT", "USE", "SHOW", "TABLES",
+    "SAVEPOINT", "TO",
+    "ALTER", "UNDO_INTERVAL", "HOURS", "MINUTES", "SECONDS",
+    "INT", "INTEGER", "BIGINT", "FLOAT", "DOUBLE", "REAL", "VARCHAR",
+    "TEXT", "BOOLEAN", "BOOL", "BYTES", "HEAP",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "SNAPSHOTS",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    ttype: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.ttype is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.ttype.value}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises SqlSyntaxError on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            end = pos + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError(f"unterminated string at {pos}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append(text[pos + 1 : end + 1])
+                        pos = end + 1
+                        end = pos + 1
+                        continue
+                    break
+                end += 1
+            chunks.append(text[pos + 1 : end])
+            tokens.append(Token(TokenType.STRING, "".join(chunks).replace("''", "'"), pos))
+            pos = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and text[pos + 1].isdigit()):
+            end = pos
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is punctuation
+                    # (qualified name), not a decimal point.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[pos:end], pos))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, pos))
+            pos = end
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(TokenType.OPERATOR, op, pos))
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, pos))
+            pos += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {pos}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

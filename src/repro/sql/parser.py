@@ -1,0 +1,586 @@
+"""Recursive-descent SQL parser producing dataclass statement nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Column, ColumnType
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: object
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    func: str            # COUNT/SUM/AVG/MIN/MAX
+    arg: object | None   # None for COUNT(*)
+
+
+STAR = object()
+
+
+# ---------------------------------------------------------------------------
+# Statement nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``name`` or ``database.name`` (snapshots are databases here too)."""
+
+    name: str
+    database: str | None = None
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple          # of (expr, alias|None) or (STAR, None)
+    table: TableRef
+    where: object | None = None
+    order_by: tuple = ()  # of (column_name, ascending)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: TableRef
+    columns: tuple
+    rows: tuple = ()               # literal rows (VALUES)
+    source: Select | None = None   # INSERT ... SELECT
+
+
+@dataclass(frozen=True)
+class Update:
+    table: TableRef
+    assignments: tuple    # of (column, expr)
+    where: object | None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: TableRef
+    where: object | None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple        # of Column
+    key: tuple
+    heap: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateSnapshot:
+    name: str
+    source: str
+    as_of: str | None     # None = copy-on-write snapshot of now
+
+
+@dataclass(frozen=True)
+class CreateDatabase:
+    name: str
+
+
+@dataclass(frozen=True)
+class DropDatabase:
+    name: str
+
+
+@dataclass(frozen=True)
+class AlterUndoInterval:
+    database: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TxnControl:
+    action: str           # BEGIN/COMMIT/ROLLBACK
+    savepoint: str | None = None  # SAVEPOINT <n> / ROLLBACK TO <n>
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    pass
+
+
+@dataclass(frozen=True)
+class Use:
+    name: str
+
+
+@dataclass(frozen=True)
+class Show:
+    what: str             # TABLES / SNAPSHOTS
+
+
+_TYPE_MAP = {
+    "INT": ColumnType.INT,
+    "INTEGER": ColumnType.INT,
+    "BIGINT": ColumnType.INT,
+    "FLOAT": ColumnType.FLOAT,
+    "DOUBLE": ColumnType.FLOAT,
+    "REAL": ColumnType.FLOAT,
+    "VARCHAR": ColumnType.STR,
+    "TEXT": ColumnType.STR,
+    "BOOLEAN": ColumnType.BOOL,
+    "BOOL": ColumnType.BOOL,
+    "BYTES": ColumnType.BYTES,
+}
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+_UNIT_SECONDS = {"HOURS": 3600.0, "MINUTES": 60.0, "SECONDS": 1.0}
+
+
+class Parser:
+    """One-statement-at-a-time recursive descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.ttype is not TokenType.END:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.peek()
+        return SqlSyntaxError(f"{message} (near {token.value!r} at {token.position})")
+
+    def accept_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        if token.ttype is TokenType.KEYWORD and token.value in words:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def accept_punct(self, ch: str) -> bool:
+        token = self.peek()
+        if token.ttype is TokenType.PUNCT and token.value == ch:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> None:
+        if not self.accept_punct(ch):
+            raise self.error(f"expected {ch!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.ttype is TokenType.IDENT:
+            self.advance()
+            return token.value
+        # Allow non-reserved keywords as identifiers where unambiguous.
+        if token.ttype is TokenType.KEYWORD and token.value in _TYPE_MAP:
+            self.advance()
+            return token.value.lower()
+        raise self.error("expected identifier")
+
+    def expect_number(self) -> float:
+        token = self.peek()
+        if token.ttype is not TokenType.NUMBER:
+            raise self.error("expected number")
+        self.advance()
+        return float(token.value)
+
+    def expect_string(self) -> str:
+        token = self.peek()
+        if token.ttype is not TokenType.STRING:
+            raise self.error("expected string literal")
+        self.advance()
+        return token.value
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.ttype is not TokenType.KEYWORD:
+            raise self.error("expected a statement")
+        word = token.value
+        if word == "SELECT":
+            return self.parse_select()
+        if word == "INSERT":
+            return self.parse_insert()
+        if word == "UPDATE":
+            return self.parse_update()
+        if word == "DELETE":
+            return self.parse_delete()
+        if word == "CREATE":
+            return self.parse_create()
+        if word == "DROP":
+            return self.parse_drop()
+        if word == "ALTER":
+            return self.parse_alter()
+        if word in ("BEGIN", "COMMIT", "ROLLBACK"):
+            self.advance()
+            if word == "ROLLBACK" and self.accept_keyword("TO"):
+                return TxnControl("ROLLBACK_TO", savepoint=self.expect_ident())
+            return TxnControl(word)
+        if word == "SAVEPOINT":
+            self.advance()
+            return TxnControl("SAVEPOINT", savepoint=self.expect_ident())
+        if word == "CHECKPOINT":
+            self.advance()
+            return Checkpoint()
+        if word == "USE":
+            self.advance()
+            return Use(self.expect_ident())
+        if word == "SHOW":
+            self.advance()
+            if self.accept_keyword("TABLES"):
+                return Show("TABLES")
+            if self.accept_keyword("SNAPSHOTS"):
+                return Show("SNAPSHOTS")
+            raise self.error("expected TABLES or SNAPSHOTS")
+        raise self.error(f"unsupported statement {word}")
+
+    def parse_table_ref(self) -> TableRef:
+        first = self.expect_ident()
+        if self.accept_punct("."):
+            return TableRef(name=self.expect_ident(), database=first)
+        return TableRef(name=first)
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        items = []
+        while True:
+            token = self.peek()
+            if token.ttype is TokenType.OPERATOR and token.value == "*":
+                self.advance()
+                items.append((STAR, None))
+            else:
+                expr = self.parse_expr()
+                alias = None
+                if self.accept_keyword("AS"):
+                    alias = self.expect_ident()
+                items.append((expr, alias))
+            if not self.accept_punct(","):
+                break
+        self.expect_keyword("FROM")
+        table = self.parse_table_ref()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        order_by = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                col = self.expect_ident()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append((col, ascending))
+                if not self.accept_punct(","):
+                    break
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = int(self.expect_number())
+        return Select(tuple(items), table, where, tuple(order_by), limit)
+
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.parse_table_ref()
+        columns: tuple = ()
+        if self.accept_punct("("):
+            names = [self.expect_ident()]
+            while self.accept_punct(","):
+                names.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(names)
+        if self.accept_keyword("VALUES"):
+            rows = []
+            while True:
+                self.expect_punct("(")
+                values = [self.parse_expr()]
+                while self.accept_punct(","):
+                    values.append(self.parse_expr())
+                self.expect_punct(")")
+                rows.append(tuple(values))
+                if not self.accept_punct(","):
+                    break
+            return Insert(table, columns, rows=tuple(rows))
+        if self.peek().matches_keyword("SELECT"):
+            return Insert(table, columns, source=self.parse_select())
+        raise self.error("expected VALUES or SELECT")
+
+    def parse_update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.parse_table_ref()
+        self.expect_keyword("SET")
+        assignments = []
+        while True:
+            col = self.expect_ident()
+            token = self.peek()
+            if token.ttype is not TokenType.OPERATOR or token.value != "=":
+                raise self.error("expected =")
+            self.advance()
+            assignments.append((col, self.parse_expr()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return Update(table, tuple(assignments), where)
+
+    def parse_delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.parse_table_ref()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return Delete(table, where)
+
+    def parse_create(self):
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._parse_create_table(heap=False)
+        if self.accept_keyword("HEAP"):
+            self.expect_keyword("TABLE")
+            return self._parse_create_table(heap=True)
+        if self.accept_keyword("DATABASE"):
+            name = self.expect_ident()
+            if self.accept_keyword("AS"):
+                self.expect_keyword("SNAPSHOT")
+                self.expect_keyword("OF")
+                source = self.expect_ident()
+                as_of = None
+                if self.accept_keyword("AS"):
+                    self.expect_keyword("OF")
+                    as_of = self.expect_string()
+                return CreateSnapshot(name, source, as_of)
+            return CreateDatabase(name)
+        raise self.error("expected TABLE or DATABASE")
+
+    def _parse_create_table(self, heap: bool) -> CreateTable:
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns: list[Column] = []
+        key: tuple = ()
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                names = [self.expect_ident()]
+                while self.accept_punct(","):
+                    names.append(self.expect_ident())
+                self.expect_punct(")")
+                key = tuple(names)
+            else:
+                columns.append(self._parse_column_def())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        if not key:
+            raise self.error("CREATE TABLE requires PRIMARY KEY (...)")
+        return CreateTable(name, tuple(columns), key, heap=heap)
+
+    def _parse_column_def(self) -> Column:
+        name = self.expect_ident()
+        token = self.peek()
+        if token.ttype is not TokenType.KEYWORD or token.value not in _TYPE_MAP:
+            raise self.error("expected a column type")
+        ctype = _TYPE_MAP[token.value]
+        self.advance()
+        max_len = 255
+        if self.accept_punct("("):
+            max_len = int(self.expect_number())
+            self.expect_punct(")")
+        nullable = True
+        if self.accept_keyword("NOT"):
+            self.expect_keyword("NULL")
+            nullable = False
+        else:
+            self.accept_keyword("NULL")
+        return Column(name=name, ctype=ctype, nullable=nullable, max_len=max_len)
+
+    def parse_drop(self):
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            return DropTable(self.expect_ident())
+        if self.accept_keyword("DATABASE") or self.accept_keyword("SNAPSHOT"):
+            return DropDatabase(self.expect_ident())
+        raise self.error("expected TABLE, DATABASE or SNAPSHOT")
+
+    def parse_alter(self) -> AlterUndoInterval:
+        self.expect_keyword("ALTER")
+        self.expect_keyword("DATABASE")
+        database = self.expect_ident()
+        self.expect_keyword("SET")
+        self.expect_keyword("UNDO_INTERVAL")
+        token = self.peek()
+        if token.ttype is not TokenType.OPERATOR or token.value != "=":
+            raise self.error("expected =")
+        self.advance()
+        amount = self.expect_number()
+        for unit, factor in _UNIT_SECONDS.items():
+            if self.accept_keyword(unit):
+                return AlterUndoInterval(database, amount * factor)
+        raise self.error("expected HOURS, MINUTES or SECONDS")
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self):
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self.accept_keyword("NOT"):
+            return Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        token = self.peek()
+        if token.ttype is TokenType.OPERATOR and token.value in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            self.advance()
+            op = "!=" if token.value == "<>" else token.value
+            return Binary(op, left, self._parse_additive())
+        if token.matches_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, negated)
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.ttype is TokenType.OPERATOR and token.value in ("+", "-"):
+                self.advance()
+                left = Binary(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.ttype is TokenType.OPERATOR and token.value in ("*", "/"):
+                self.advance()
+                left = Binary(token.value, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self):
+        token = self.peek()
+        if token.ttype is TokenType.OPERATOR and token.value == "-":
+            self.advance()
+            return Unary("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token.ttype is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.ttype is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.ttype is TokenType.KEYWORD and token.value in _AGGREGATES:
+            func = token.value
+            self.advance()
+            self.expect_punct("(")
+            arg = None
+            inner = self.peek()
+            if inner.ttype is TokenType.OPERATOR and inner.value == "*":
+                if func != "COUNT":
+                    raise self.error("only COUNT accepts *")
+                self.advance()
+            else:
+                arg = self.parse_expr()
+            self.expect_punct(")")
+            return Aggregate(func, arg)
+        if self.accept_punct("("):
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.ttype is TokenType.IDENT:
+            self.advance()
+            return ColumnRef(token.value)
+        raise self.error("expected an expression")
+
+
+def parse_script(text: str) -> list:
+    """Parse a semicolon-separated script into statement nodes."""
+    tokens = tokenize(text)
+    parser = Parser(tokens)
+    statements = []
+    while parser.peek().ttype is not TokenType.END:
+        statements.append(parser.parse_statement())
+        while parser.accept_punct(";"):
+            pass
+    if not statements:
+        raise SqlSyntaxError("empty statement")
+    return statements

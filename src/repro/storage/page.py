@@ -1,0 +1,473 @@
+"""Slotted data pages.
+
+Every page starts with a fixed header whose two LSN fields drive the paper's
+mechanism:
+
+* ``page_lsn`` — LSN of the last log record that modified the page. Log
+  records carry ``prev_page_lsn`` (the page's LSN before the modification),
+  which back-links all modifications of a page into a chain that
+  ``PreparePageAsOf`` walks.
+* ``last_image_lsn`` — LSN of the most recent full page image logged for
+  this page (section 6.1's optional every-Nth-modification images). Image
+  records form their own back-chain so undo can skip log regions.
+
+The record area grows up from the header; the slot directory grows down
+from the page end (two bytes per slot holding the record offset). Record
+payloads are opaque to this layer: the B-tree keeps slots in key order, the
+heap appends. Modifications are *physiological* — logged as logical
+operations within an identified page (insert at slot, delete at slot) — so
+redo/undo replay operations rather than bytes, and internal compaction
+needs no logging.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.errors import PageFullError, StorageError
+
+#: Slot directory entry: u16 record offset (0 = vacant, offsets are always
+#: >= HEADER_SIZE for live records).
+_SLOT = struct.Struct("<H")
+#: Record framing: u16 payload length prefix at the record offset.
+_RECLEN = struct.Struct("<H")
+
+_HEADER = struct.Struct(
+    "<HBBIQQIHBBIIHHHHI4s"
+    # magic, page_type, flags, page_id, page_lsn, last_image_lsn,
+    # object_id, index_id, level, pad, prev_page, next_page,
+    # slot_count, free_lower, free_upper, mods_since_image, checksum, reserved
+)
+
+HEADER_SIZE = _HEADER.size  # 56 bytes
+PAGE_MAGIC = 0xD81A
+NULL_PAGE = 0
+
+
+class PageType(enum.IntEnum):
+    """Discriminates how a page's body is interpreted."""
+
+    UNFORMATTED = 0
+    BOOT = 1
+    ALLOC_MAP = 2
+    HEAP = 3
+    BTREE = 4
+
+
+class Page:
+    """A mutable view over one page-sized ``bytearray``.
+
+    The constructor wraps existing bytes without validation; use
+    :meth:`format` to initialize a fresh page and :meth:`is_formatted` to
+    probe whether bytes hold a real page.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytearray) -> None:
+        if not isinstance(data, bytearray):
+            data = bytearray(data)
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Header accessors
+    # ------------------------------------------------------------------
+
+    def _get(self, index: int):
+        return _HEADER.unpack_from(self.data, 0)[index]
+
+    def _set(self, index: int, value) -> None:
+        fields = list(_HEADER.unpack_from(self.data, 0))
+        fields[index] = value
+        _HEADER.pack_into(self.data, 0, *fields)
+
+    @property
+    def page_size(self) -> int:
+        return len(self.data)
+
+    @property
+    def magic(self) -> int:
+        return self._get(0)
+
+    @property
+    def page_type(self) -> PageType:
+        return PageType(self._get(1))
+
+    @property
+    def flags(self) -> int:
+        return self._get(2)
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        self._set(2, value)
+
+    @property
+    def page_id(self) -> int:
+        return self._get(3)
+
+    @property
+    def page_lsn(self) -> int:
+        return self._get(4)
+
+    @page_lsn.setter
+    def page_lsn(self, lsn: int) -> None:
+        self._set(4, lsn)
+
+    @property
+    def last_image_lsn(self) -> int:
+        return self._get(5)
+
+    @last_image_lsn.setter
+    def last_image_lsn(self, lsn: int) -> None:
+        self._set(5, lsn)
+
+    @property
+    def object_id(self) -> int:
+        return self._get(6)
+
+    @property
+    def index_id(self) -> int:
+        return self._get(7)
+
+    @property
+    def level(self) -> int:
+        """B-tree level; 0 means leaf."""
+        return self._get(8)
+
+    @property
+    def prev_page(self) -> int:
+        return self._get(10)
+
+    @prev_page.setter
+    def prev_page(self, pid: int) -> None:
+        self._set(10, pid)
+
+    @property
+    def next_page(self) -> int:
+        return self._get(11)
+
+    @next_page.setter
+    def next_page(self, pid: int) -> None:
+        self._set(11, pid)
+
+    @property
+    def slot_count(self) -> int:
+        return self._get(12)
+
+    @property
+    def free_lower(self) -> int:
+        return self._get(13)
+
+    @property
+    def free_upper(self) -> int:
+        return self._get(14)
+
+    @property
+    def mods_since_image(self) -> int:
+        return self._get(15)
+
+    @mods_since_image.setter
+    def mods_since_image(self, count: int) -> None:
+        self._set(15, count)
+
+    @property
+    def checksum(self) -> int:
+        return self._get(16)
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._set(16, value)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def format(
+        self,
+        page_id: int,
+        page_type: PageType,
+        object_id: int = 0,
+        index_id: int = 0,
+        level: int = 0,
+        prev_page: int = NULL_PAGE,
+        next_page: int = NULL_PAGE,
+    ) -> None:
+        """Initialize this page as empty with the given identity.
+
+        Zeroes the whole body: a formatted page has no trace of its prior
+        incarnation (the paper's preformat record exists precisely to save
+        that prior content in the log).
+        """
+        size = len(self.data)
+        self.data[:] = bytes(size)
+        _HEADER.pack_into(
+            self.data,
+            0,
+            PAGE_MAGIC,
+            int(page_type),
+            0,
+            page_id,
+            0,
+            0,
+            object_id,
+            index_id,
+            level,
+            0,
+            prev_page,
+            next_page,
+            0,
+            HEADER_SIZE,
+            size,
+            0,
+            0,
+            b"\0" * 4,
+        )
+
+    def deformat(self) -> None:
+        """Return the page to the unformatted (all-zero) state.
+
+        This is the physical undo of a first-time format: before its first
+        allocation the page held nothing.
+        """
+        self.data[:] = bytes(len(self.data))
+
+    def is_formatted(self) -> bool:
+        return self.magic == PAGE_MAGIC
+
+    def clone_bytes(self) -> bytes:
+        """An immutable copy of the current page content."""
+        return bytes(self.data)
+
+    def restore(self, image: bytes) -> None:
+        """Overwrite the page with a full image (page-image / preformat undo)."""
+        if len(image) != len(self.data):
+            raise StorageError(
+                f"image size {len(image)} != page size {len(self.data)}"
+            )
+        self.data[:] = image
+
+    # ------------------------------------------------------------------
+    # Slot directory
+    # ------------------------------------------------------------------
+
+    def _slot_pos(self, slot: int) -> int:
+        return len(self.data) - _SLOT.size * (slot + 1)
+
+    def _slot_offset(self, slot: int) -> int:
+        return _SLOT.unpack_from(self.data, self._slot_pos(slot))[0]
+
+    def _set_slot_offset(self, slot: int, offset: int) -> None:
+        _SLOT.pack_into(self.data, self._slot_pos(slot), offset)
+
+    def _check_slot(self, slot: int, *, insert: bool = False) -> None:
+        limit = self.slot_count + (1 if insert else 0)
+        if not 0 <= slot < limit:
+            raise StorageError(
+                f"slot {slot} out of range (page {self.page_id}, "
+                f"{self.slot_count} slots)"
+            )
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+
+    def contiguous_free(self) -> int:
+        """Bytes available between the record area and the slot directory."""
+        return self.free_upper - self.free_lower
+
+    def live_bytes(self) -> int:
+        """Bytes occupied by live records (length prefixes included)."""
+        total = 0
+        for slot in range(self.slot_count):
+            offset = self._slot_offset(slot)
+            total += _RECLEN.size + _RECLEN.unpack_from(self.data, offset)[0]
+        return total
+
+    def total_free(self) -> int:
+        """Free bytes counting reclaimable garbage (what compaction yields)."""
+        used_by_slots = _SLOT.size * self.slot_count
+        return len(self.data) - HEADER_SIZE - used_by_slots - self.live_bytes()
+
+    def space_needed(self, payload_len: int) -> int:
+        """Bytes an insert of ``payload_len`` consumes (record + new slot)."""
+        return _RECLEN.size + payload_len + _SLOT.size
+
+    def max_payload(self) -> int:
+        """Largest payload an empty page of this size can hold."""
+        return len(self.data) - HEADER_SIZE - _RECLEN.size - _SLOT.size
+
+    def has_room_for(self, payload_len: int) -> bool:
+        return self.space_needed(payload_len) <= self.total_free()
+
+    # ------------------------------------------------------------------
+    # Record operations (physiological units that log records replay)
+    # ------------------------------------------------------------------
+
+    def record(self, slot: int) -> bytes:
+        """The payload stored at ``slot``."""
+        self._check_slot(slot)
+        offset = self._slot_offset(slot)
+        (length,) = _RECLEN.unpack_from(self.data, offset)
+        start = offset + _RECLEN.size
+        return bytes(self.data[start : start + length])
+
+    def records(self):
+        """Iterate payloads in slot order."""
+        for slot in range(self.slot_count):
+            yield self.record(slot)
+
+    def insert_record(self, slot: int, payload: bytes) -> None:
+        """Insert ``payload`` at position ``slot``, shifting later slots up.
+
+        Compacts the page first when fragmented; raises
+        :class:`PageFullError` when the record cannot fit even then.
+        """
+        self._check_slot(slot, insert=True)
+        needed = self.space_needed(len(payload))
+        if needed > self.contiguous_free():
+            if needed > self.total_free():
+                raise PageFullError(
+                    f"page {self.page_id}: need {needed} bytes, "
+                    f"have {self.total_free()}"
+                )
+            self.compact()
+        offset = self.free_lower
+        _RECLEN.pack_into(self.data, offset, len(payload))
+        start = offset + _RECLEN.size
+        self.data[start : start + len(payload)] = payload
+        # Shift slot directory entries [slot, count) one position down
+        # (toward lower addresses, since the directory grows downward).
+        count = self.slot_count
+        if slot < count:
+            src_lo = self._slot_pos(count - 1)
+            src_hi = self._slot_pos(slot) + _SLOT.size
+            self.data[src_lo - _SLOT.size : src_hi - _SLOT.size] = self.data[
+                src_lo:src_hi
+            ]
+        self._set_slot_offset(slot, offset)
+        self._set(12, count + 1)
+        self._set(13, offset + _RECLEN.size + len(payload))
+        self._set(14, self._slot_pos(count))
+
+    def delete_record(self, slot: int) -> bytes:
+        """Remove the record at ``slot`` and return its payload.
+
+        Later slots shift down by one; the record bytes become reclaimable
+        garbage.
+        """
+        self._check_slot(slot)
+        payload = self.record(slot)
+        count = self.slot_count
+        if slot < count - 1:
+            src_lo = self._slot_pos(count - 1)
+            src_hi = self._slot_pos(slot)
+            self.data[src_lo + _SLOT.size : src_hi + _SLOT.size] = self.data[
+                src_lo:src_hi
+            ]
+        self._set_slot_offset(count - 1, 0)
+        self._set(12, count - 1)
+        self._set(14, self._slot_pos(count - 2) if count > 1 else len(self.data))
+        return payload
+
+    def update_record(self, slot: int, payload: bytes) -> bytes:
+        """Replace the record at ``slot``; returns the prior payload."""
+        self._check_slot(slot)
+        old = self.record(slot)
+        offset = self._slot_offset(slot)
+        if len(payload) <= len(old):
+            _RECLEN.pack_into(self.data, offset, len(payload))
+            start = offset + _RECLEN.size
+            self.data[start : start + len(payload)] = payload
+            return old
+        # Grow: relocate to fresh space (compacting first if necessary).
+        extra = _RECLEN.size + len(payload)
+        if extra > self.contiguous_free():
+            if len(payload) - len(old) > self.total_free():
+                raise PageFullError(
+                    f"page {self.page_id}: update needs {len(payload) - len(old)} "
+                    f"more bytes, have {self.total_free()}"
+                )
+            # Temporarily drop the old record so compaction reclaims it.
+            self._set_slot_offset(slot, 0)
+            self.compact(skip_vacant=True)
+        new_offset = self.free_lower
+        _RECLEN.pack_into(self.data, new_offset, len(payload))
+        start = new_offset + _RECLEN.size
+        self.data[start : start + len(payload)] = payload
+        self._set_slot_offset(slot, new_offset)
+        self._set(13, new_offset + _RECLEN.size + len(payload))
+        return old
+
+    def compact(self, skip_vacant: bool = False) -> None:
+        """Rewrite live records densely from the header boundary.
+
+        Physiological logging makes compaction invisible to the log: the
+        logical content (slot → payload) is unchanged.
+        """
+        live: list[tuple[int, bytes]] = []
+        for slot in range(self.slot_count):
+            offset = self._slot_offset(slot)
+            if offset == 0:
+                if skip_vacant:
+                    continue
+                raise StorageError(f"page {self.page_id}: vacant slot {slot}")
+            (length,) = _RECLEN.unpack_from(self.data, offset)
+            start = offset + _RECLEN.size
+            live.append((slot, bytes(self.data[start : start + length])))
+        write_at = HEADER_SIZE
+        for slot, payload in live:
+            _RECLEN.pack_into(self.data, write_at, len(payload))
+            start = write_at + _RECLEN.size
+            self.data[start : start + len(payload)] = payload
+            self._set_slot_offset(slot, write_at)
+            write_at = start + len(payload)
+        self._set(13, write_at)
+
+    # ------------------------------------------------------------------
+    # Body bit access (allocation bitmaps)
+    # ------------------------------------------------------------------
+
+    def get_body_bit(self, bit_index: int) -> bool:
+        """Read bit ``bit_index`` of the page body (after the header)."""
+        byte = HEADER_SIZE + bit_index // 8
+        if byte >= len(self.data):
+            raise StorageError(f"bit {bit_index} beyond page body")
+        return bool(self.data[byte] & (1 << (bit_index % 8)))
+
+    def set_body_bit(self, bit_index: int, value: bool) -> None:
+        """Write bit ``bit_index`` of the page body."""
+        byte = HEADER_SIZE + bit_index // 8
+        if byte >= len(self.data):
+            raise StorageError(f"bit {bit_index} beyond page body")
+        mask = 1 << (bit_index % 8)
+        if value:
+            self.data[byte] |= mask
+        else:
+            self.data[byte] &= ~mask & 0xFF
+
+    def __repr__(self) -> str:
+        if not self.is_formatted():
+            return f"Page(unformatted, {len(self.data)} bytes)"
+        return (
+            f"Page(id={self.page_id}, type={self.page_type.name}, "
+            f"lsn={self.page_lsn}, slots={self.slot_count}, "
+            f"obj={self.object_id}, level={self.level})"
+        )
+
+
+def alloc_bitmap_geometry(page_size: int) -> int:
+    """Number of pages one allocation-map page can track.
+
+    The map body is split in two parallel bitmaps: *allocated* and
+    *ever-allocated* (the paper's section 4.2 metadata distinguishing first
+    allocation from re-allocation). Each tracked page therefore costs two
+    bits, taken from separate halves of the body.
+    """
+    body_bits = (page_size - HEADER_SIZE) * 8
+    return body_bits // 2
+
+
+def ever_bit_offset(page_size: int) -> int:
+    """Bit index where the ever-allocated bitmap begins."""
+    return alloc_bitmap_geometry(page_size)

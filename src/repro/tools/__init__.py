@@ -1,0 +1,26 @@
+"""Operational tooling: log inspection and database consistency checking.
+
+The kind of DBA-facing tools a system like the paper's ships with:
+human-readable log dumps, per-page modification-chain traces (the paper's
+Figures 1/2, live), per-transaction traces, and a structural consistency
+checker in the spirit of ``DBCC CHECKDB``.
+"""
+
+from repro.tools.loginspect import (
+    describe_record,
+    dump_log,
+    log_statistics,
+    page_history,
+    transaction_history,
+)
+from repro.tools.checkdb import check_database, CheckReport
+
+__all__ = [
+    "describe_record",
+    "dump_log",
+    "page_history",
+    "transaction_history",
+    "log_statistics",
+    "check_database",
+    "CheckReport",
+]

@@ -1,0 +1,133 @@
+"""Transaction log inspection.
+
+``page_history`` walks a page's ``prevPageLSN`` back-chain — the exact
+structure of the paper's Figures 1 and 2, including the preformat splice
+across re-allocations. ``transaction_history`` walks a transaction's
+chain; ``dump_log`` and ``log_statistics`` summarize the stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import LogTruncatedError
+from repro.wal.lsn import NULL_LSN, format_lsn
+from repro.wal.records import (
+    BeginRecord,
+    CheckpointBeginRecord,
+    ClrRecord,
+    CommitRecord,
+    DeleteRowRecord,
+    InsertRowRecord,
+    LogRecord,
+    PageImageRecord,
+    PreformatPageRecord,
+    UpdateRowRecord,
+)
+
+
+def describe_record(rec: LogRecord) -> str:
+    """One-line human-readable rendering of a log record."""
+    name = type(rec).__name__.replace("Record", "")
+    parts = [f"{format_lsn(rec.lsn)} {name}"]
+    if rec.txn_id:
+        parts.append(f"txn={rec.txn_id}")
+    if rec.IS_PAGE_MOD:
+        parts.append(f"page={rec.page_id}")
+        parts.append(f"prev_page={format_lsn(rec.prev_page_lsn)}")
+    if rec.object_id:
+        parts.append(f"obj={rec.object_id}")
+    if isinstance(rec, CommitRecord):
+        parts.append(f"wall={rec.wall_clock:.3f}")
+    elif isinstance(rec, CheckpointBeginRecord):
+        parts.append(f"wall={rec.wall_clock:.3f}")
+        parts.append(f"active={len(rec.active_txns)}")
+    elif isinstance(rec, InsertRowRecord):
+        parts.append(f"slot={rec.slot}")
+        parts.append(f"bytes={len(rec.row)}")
+    elif isinstance(rec, DeleteRowRecord):
+        parts.append(f"slot={rec.slot}")
+        parts.append("row=inline" if rec.row is not None else f"pair={format_lsn(rec.pair_lsn)}")
+    elif isinstance(rec, UpdateRowRecord):
+        parts.append(f"slot={rec.slot}")
+        parts.append(f"new={len(rec.new)}B")
+    elif isinstance(rec, ClrRecord):
+        parts.append(f"compensates={format_lsn(rec.compensated_lsn)}")
+        parts.append(f"undo_next={format_lsn(rec.undo_next_lsn)}")
+        parts.append(f"comp={type(rec.comp).__name__.replace('Record', '')}")
+    elif isinstance(rec, (PageImageRecord, PreformatPageRecord)):
+        parts.append(f"image={len(rec.image)}B")
+    if rec.is_smo:
+        parts.append("SMO")
+    if rec.is_heap:
+        parts.append("HEAP")
+    return " ".join(parts)
+
+
+def dump_log(db, from_lsn: int | None = None, limit: int = 100) -> list[str]:
+    """Describe up to ``limit`` records starting at ``from_lsn``."""
+    start = from_lsn if from_lsn is not None else db.log.start_lsn
+    lines = []
+    for rec in db.log.scan(start, stop_on_torn_tail=True):
+        lines.append(describe_record(rec))
+        if len(lines) >= limit:
+            break
+    return lines
+
+
+def page_history(db, page_id: int, *, max_records: int = 1000) -> list[LogRecord]:
+    """The page's modification chain, newest first (paper Figures 1/2).
+
+    Starts at the page's current ``pageLSN`` and follows ``prevPageLSN``
+    through preformat splices until the chain starts (or leaves the
+    retained log, in which case the walk stops silently).
+    """
+    with db.fetch_page(page_id) as guard:
+        current = guard.page.page_lsn if guard.page.is_formatted() else NULL_LSN
+    chain = []
+    while current != NULL_LSN and len(chain) < max_records:
+        try:
+            rec = db.log.read(current)
+        except LogTruncatedError:
+            break
+        chain.append(rec)
+        current = rec.prev_page_lsn
+    return chain
+
+
+def transaction_history(db, txn_id: int, *, max_records: int = 1000) -> list[LogRecord]:
+    """A transaction's records, newest first (rollbacks included)."""
+    last = NULL_LSN
+    for rec in db.log.scan(db.log.start_lsn, stop_on_torn_tail=True):
+        if rec.txn_id == txn_id:
+            last = rec.lsn
+    chain = []
+    current = last
+    while current != NULL_LSN and len(chain) < max_records:
+        rec = db.log.read(current)
+        chain.append(rec)
+        if isinstance(rec, BeginRecord):
+            break
+        current = rec.prev_txn_lsn
+    return chain
+
+
+def log_statistics(db) -> dict:
+    """Counts and byte totals per record type over the retained log."""
+    counts: Counter = Counter()
+    sizes: Counter = Counter()
+    total = 0
+    for rec in db.log.scan(db.log.start_lsn, stop_on_torn_tail=True):
+        name = type(rec).__name__.replace("Record", "")
+        size = len(rec.serialize())
+        counts[name] += 1
+        sizes[name] += size
+        total += size
+    return {
+        "records": dict(counts),
+        "bytes": dict(sizes),
+        "total_records": sum(counts.values()),
+        "total_bytes": total,
+        "retained_from": db.log.start_lsn,
+        "end_lsn": db.log.end_lsn,
+    }

@@ -1,0 +1,20 @@
+"""Transactions: locking, lifecycle, rollback with CLR generation.
+
+Rollback performs *logical* undo — rows are re-located by key because
+other transactions or B-tree structure modifications may have moved them —
+and writes compensation log records, which (with the paper's section 4.2
+extension) remain physically undoable so as-of queries can rewind through
+a rollback.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transaction import Transaction, TxnState
+from repro.txn.manager import TransactionManager
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TxnState",
+    "TransactionManager",
+]

@@ -1,0 +1,153 @@
+"""Lock manager: shared/exclusive locks with wait-for-graph deadlock checks.
+
+Lock keys are hashable tuples — ``(object_id,)`` for object locks,
+``(object_id, key_bytes)`` for row locks. The engine is cooperative
+(single-threaded), so a conflicting request never parks a thread; instead:
+
+* if a *resolver* is installed, it is invoked to make progress (as-of
+  snapshots use this: a query hitting a lock held by an in-flight
+  transaction drives that transaction's background undo to completion,
+  modeling the paper's "redo pass reacquires the locks" behavior);
+* otherwise the request raises — :class:`DeadlockError` when the wait-for
+  graph (networkx) would acquire a cycle, :class:`LockConflictError`
+  otherwise, and the caller (a test interleaving transactions, or the
+  engine aborting a victim) decides what to do.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import networkx as nx
+
+from repro.errors import DeadlockError, LockError
+
+
+class LockConflictError(LockError):
+    """The request conflicts with locks held by other transactions."""
+
+    def __init__(self, key, holders) -> None:
+        self.key = key
+        self.holders = frozenset(holders)
+        super().__init__(f"lock {key!r} held by transactions {sorted(holders)}")
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _Entry:
+    __slots__ = ("holders",)
+
+    def __init__(self) -> None:
+        #: txn_id -> LockMode
+        self.holders: dict[int, LockMode] = {}
+
+
+class LockManager:
+    """Lock table for one database (primary or snapshot)."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, _Entry] = {}
+        #: Declared waits: txn_id -> (key, mode); persists across retries so
+        #: genuine deadlocks between interleaved transactions are detected.
+        self._waits: dict[int, tuple] = {}
+        #: Optional callable ``resolver(key, holders) -> bool`` that makes
+        #: progress on conflicts (returns True when worth re-checking).
+        self.resolver = None
+
+    # ------------------------------------------------------------------
+
+    def _conflicts(self, entry: _Entry, txn_id: int, mode: LockMode):
+        """Transaction ids whose holdings block this request."""
+        blockers = set()
+        for holder, held in entry.holders.items():
+            if holder == txn_id:
+                continue
+            if mode is LockMode.EXCLUSIVE or held is LockMode.EXCLUSIVE:
+                blockers.add(holder)
+        return blockers
+
+    def _would_deadlock(self, txn_id: int, blockers) -> bool:
+        graph = nx.DiGraph()
+        for waiter, (key, _mode) in self._waits.items():
+            entry = self._table.get(key)
+            if entry is None:
+                continue
+            for holder in entry.holders:
+                if holder != waiter:
+                    graph.add_edge(waiter, holder)
+        for blocker in blockers:
+            graph.add_edge(txn_id, blocker)
+        try:
+            nx.find_cycle(graph, source=txn_id)
+        except nx.NetworkXNoCycle:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, txn, key: tuple, mode: LockMode, stats=None) -> None:
+        """Grant ``mode`` on ``key`` to ``txn`` or raise.
+
+        Re-acquiring an already-held lock is a no-op; holding SHARED and
+        requesting EXCLUSIVE upgrades when no other holder exists.
+        """
+        entry = self._table.setdefault(key, _Entry())
+        attempts = 0
+        while True:
+            blockers = self._conflicts(entry, txn.txn_id, mode)
+            if not blockers:
+                break
+            if stats is not None:
+                stats.lock_waits += 1
+            if self._would_deadlock(txn.txn_id, blockers):
+                if stats is not None:
+                    stats.deadlocks += 1
+                raise DeadlockError(
+                    f"transaction {txn.txn_id} would deadlock on {key!r} "
+                    f"(holders {sorted(blockers)})"
+                )
+            self._waits[txn.txn_id] = (key, mode)
+            resolved = False
+            if self.resolver is not None and attempts < 64:
+                resolved = bool(self.resolver(key, blockers))
+                attempts += 1
+            if not resolved:
+                raise LockConflictError(key, blockers)
+        self._waits.pop(txn.txn_id, None)
+        # A resolver may have emptied and garbage-collected the table entry
+        # (release_all deletes empty entries); re-attach before granting.
+        entry = self._table.setdefault(key, entry)
+        held = entry.holders.get(txn.txn_id)
+        if held is None or (held is LockMode.SHARED and mode is LockMode.EXCLUSIVE):
+            entry.holders[txn.txn_id] = mode
+        txn.locks.add(key)
+
+    def release_all(self, txn) -> None:
+        """Drop every lock ``txn`` holds (commit/abort)."""
+        for key in txn.locks:
+            entry = self._table.get(key)
+            if entry is not None:
+                entry.holders.pop(txn.txn_id, None)
+                if not entry.holders:
+                    del self._table[key]
+        txn.locks.clear()
+        self._waits.pop(txn.txn_id, None)
+
+    # ------------------------------------------------------------------
+
+    def holders_of(self, key: tuple) -> frozenset:
+        entry = self._table.get(key)
+        return frozenset(entry.holders) if entry else frozenset()
+
+    def held_by(self, txn_id: int) -> list[tuple]:
+        return [
+            key
+            for key, entry in self._table.items()
+            if txn_id in entry.holders
+        ]
+
+    def lock_count(self) -> int:
+        return sum(len(entry.holders) for entry in self._table.values())

@@ -1,0 +1,208 @@
+"""Logged page modification: the write path every component goes through.
+
+``PageModifier.apply`` is the single choke point that (a) stamps the
+record's ``prev_page_lsn`` from the page being modified — building the
+per-page chain — (b) appends it to the log, (c) replays it onto the page,
+and (d) advances the page's ``pageLSN``. It also emits the optional full
+page image every Nth modification (section 6.1) and the preformat record
+on page re-allocation (section 4.2), so callers (B-tree, heap, allocation
+map, catalog) never special-case the extensions.
+
+``UnloggedModifier`` is the same interface with no logging: as-of
+snapshots use it when the background logical-undo pass or a rare
+re-balance must modify *snapshot* pages, which are ephemeral side-file
+cache entries, not durable state (section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.config import LoggingExtensions, SimEnv
+from repro.storage.page import Page, PageType
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import NULL_LSN
+from repro.wal.records import (
+    FormatPageRecord,
+    LogRecord,
+    PageImageRecord,
+    PreformatPageRecord,
+)
+
+#: Cap for the per-page modification counter (u16 header field).
+_MODS_CAP = 0xFFFF
+
+
+class PageModifier:
+    """Applies log records to buffered pages with full WAL discipline."""
+
+    def __init__(
+        self,
+        log: LogManager,
+        extensions: LoggingExtensions,
+        env: SimEnv,
+    ) -> None:
+        self.log = log
+        self.extensions = extensions.effective()
+        self.env = env
+        #: Copy-on-write hooks ``hook(page)`` invoked before the first
+        #: modification of a page, used by *regular* database snapshots to
+        #: push pre-images to their sparse files (paper section 2.2).
+        #: As-of snapshots register no hook — they undo on demand instead.
+        self.cow_hooks: list = []
+
+    @property
+    def logged(self) -> bool:
+        return True
+
+    def _run_cow_hooks(self, page: Page) -> None:
+        for hook in self.cow_hooks:
+            hook(page)
+
+    def apply(self, txn, frame, record: LogRecord, *, chain_prev: int | None = None) -> int:
+        """Log ``record`` and apply it to ``frame``'s page.
+
+        ``chain_prev`` overrides the page-chain back-pointer; format records
+        use it to splice in the preformat record of a re-allocation.
+        Returns the record's LSN.
+        """
+        page = frame.page
+        if self.cow_hooks:
+            self._run_cow_hooks(page)
+        record.prev_page_lsn = page.page_lsn if chain_prev is None else chain_prev
+        if txn is not None:
+            record.txn_id = txn.txn_id
+            record.prev_txn_lsn = txn.last_lsn
+        lsn = self.log.append(record)
+        record.redo(page, fetch=self.log.undo_fetch)
+        page.page_lsn = lsn
+        if txn is not None:
+            txn.last_lsn = lsn
+        frame.mark_dirty()
+        self._after_modification(frame)
+        return lsn
+
+    def _after_modification(self, frame) -> None:
+        """Advance the page's modification counter; emit a page image when
+        the counter reaches the configured interval."""
+        page = frame.page
+        count = page.mods_since_image
+        if count < _MODS_CAP:
+            page.mods_since_image = count + 1
+        interval = self.extensions.page_image_interval
+        if interval <= 0 or page.mods_since_image < interval:
+            return
+        page.mods_since_image = 0
+        image_rec = PageImageRecord(
+            image=page.clone_bytes(),
+            prev_image_lsn=page.last_image_lsn,
+            page_id=page.page_id,
+            prev_page_lsn=page.page_lsn,
+            object_id=page.object_id,
+        )
+        lsn = self.log.append(image_rec)
+        page.page_lsn = lsn
+        page.last_image_lsn = lsn
+        frame.mark_dirty()
+
+    def format_page(
+        self,
+        txn,
+        frame,
+        page_type: PageType,
+        *,
+        object_id: int = 0,
+        index_id: int = 0,
+        level: int = 0,
+        prev_page: int = 0,
+        next_page: int = 0,
+        was_ever_allocated: bool = False,
+        force_preformat: bool = False,
+    ) -> int:
+        """Format a page for a new use, preserving history on re-allocation.
+
+        For a re-allocated page (``was_ever_allocated``) with the preformat
+        extension enabled, the page's prior content — already present in
+        ``frame`` because the caller fetched it — is logged in a preformat
+        record whose ``prev_page_lsn`` points into the prior incarnation's
+        chain; the format record then chains to the preformat. Without the
+        extension the chain simply breaks (paper Figure 1), and as-of
+        queries older than the re-allocation fail.
+
+        ``force_preformat`` bypasses the extension switch: in-place
+        reformats of live pages (B-tree root splits) need the pre-image for
+        crash-safe rollback regardless of as-of support.
+        """
+        page = frame.page
+        if self.cow_hooks:
+            self._run_cow_hooks(page)
+        chain_prev = NULL_LSN
+        if was_ever_allocated and (
+            self.extensions.preformat_on_realloc or force_preformat
+        ):
+            old_image = page.clone_bytes()
+            old_lsn = page.page_lsn if page.is_formatted() else NULL_LSN
+            pre = PreformatPageRecord(
+                image=old_image,
+                page_id=frame.page_id,
+                prev_page_lsn=old_lsn,
+                object_id=page.object_id if page.is_formatted() else 0,
+            )
+            chain_prev = self.log.append(pre)
+        fmt = FormatPageRecord(
+            page_type=int(page_type),
+            index_id=index_id,
+            level=level,
+            prev_page=prev_page,
+            next_page=next_page,
+            # The frame, not the page: a first-time format sees zeroed
+            # bytes whose header page_id field is meaningless.
+            page_id=frame.page_id,
+            object_id=object_id,
+        )
+        return self.apply(txn, frame, fmt, chain_prev=chain_prev)
+
+
+class UnloggedModifier:
+    """Apply records to pages without logging (snapshot-side mutations).
+
+    Keeps the page-chain fields untouched: snapshot pages are throwaway
+    side-file state whose "history" is the primary's log, never their own.
+    """
+
+    def __init__(self, env: SimEnv) -> None:
+        self.env = env
+        self.extensions = LoggingExtensions()
+
+    @property
+    def logged(self) -> bool:
+        return False
+
+    def apply(self, txn, frame, record: LogRecord, *, chain_prev: int | None = None) -> int:
+        record.redo(frame.page)
+        frame.mark_dirty()
+        return NULL_LSN
+
+    def format_page(
+        self,
+        txn,
+        frame,
+        page_type: PageType,
+        *,
+        object_id: int = 0,
+        index_id: int = 0,
+        level: int = 0,
+        prev_page: int = 0,
+        next_page: int = 0,
+        was_ever_allocated: bool = False,
+        force_preformat: bool = False,
+    ) -> int:
+        frame.page.format(
+            frame.page_id,
+            page_type,
+            object_id=object_id,
+            index_id=index_id,
+            level=level,
+            prev_page=prev_page,
+            next_page=next_page,
+        )
+        frame.mark_dirty()
+        return NULL_LSN

@@ -1,0 +1,249 @@
+"""The log manager: append, group flush, random reads, scans, truncation.
+
+The LSN of a record is its byte offset in the log stream, so random access
+(the workhorse of page-oriented undo) is a direct seek. Reads are served
+through an LRU block cache that models the paper's "log cache": a chain
+walk whose records fall outside the cached blocks stalls on a random read
+of the log media — the reason "storing transaction log on low latency
+media is important for as-of query performance" (section 6.2).
+
+Durability model: appended records sit in a volatile tail until
+:meth:`flush` moves the durable boundary (charging a sequential write).
+:meth:`crash` discards the volatile tail, which is how the crash-recovery
+tests produce torn histories.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.config import SimEnv
+from repro.errors import LogRecordDecodeError, LogTruncatedError, WalError
+from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
+from repro.wal.records import (
+    LOG_HEADER_MAGIC,
+    ClrRecord,
+    LogRecord,
+    PageImageRecord,
+    PreformatPageRecord,
+    decode_record,
+)
+
+
+class LogManager:
+    """One database's write-ahead log."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        block_size: int = 65536,
+        cache_blocks: int = 32,
+    ) -> None:
+        self.env = env
+        self.block_size = block_size
+        self.cache_blocks = cache_blocks
+        self._data = bytearray(LOG_HEADER_MAGIC)
+        self._base = 0  # LSN of _data[0]
+        self._durable_end = FIRST_LSN
+        self._truncated_before = FIRST_LSN
+        self._cache: OrderedDict[int, None] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Positions
+    # ------------------------------------------------------------------
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN one past the last appended record (next record's LSN)."""
+        return self._base + len(self._data)
+
+    @property
+    def durable_lsn(self) -> int:
+        """Records starting below this LSN are durable."""
+        return self._durable_end
+
+    @property
+    def start_lsn(self) -> int:
+        """Oldest retained LSN; reads below raise LogTruncatedError."""
+        return self._truncated_before
+
+    def total_bytes(self) -> int:
+        """Bytes of retained log (Figure 5's space metric)."""
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Append / flush
+    # ------------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        """Serialize ``record``, assign its LSN, and buffer it.
+
+        Charges the per-record CPU cost (the log-manager synchronization
+        the paper identifies as the throughput-sensitive term).
+        """
+        record.lsn = self.end_lsn
+        blob = record.serialize()
+        self._data += blob
+        stats = self.env.stats
+        stats.log_records += 1
+        if isinstance(record, PreformatPageRecord):
+            stats.preformat_records += 1
+            stats.preformat_bytes += len(blob)
+        elif isinstance(record, PageImageRecord):
+            stats.page_image_records += 1
+            stats.page_image_bytes += len(blob)
+        elif isinstance(record, ClrRecord):
+            comp = record.comp
+            undo_payload = getattr(comp, "row", None)
+            if undo_payload is None:
+                undo_payload = getattr(comp, "old", None)
+            if undo_payload is not None:
+                stats.clr_undo_bytes += len(undo_payload)
+        self.env.charge_cpu(self.env.cost.log_record_cpu_s)
+        return record.lsn
+
+    def flush(self, up_to_lsn: int | None = None) -> None:
+        """Make the log durable.
+
+        Group-commit style: a flush always pushes the whole volatile tail
+        (``up_to_lsn`` only lets callers skip the flush when already
+        durable). Charges one sequential write for the flushed bytes.
+        """
+        end = self.end_lsn
+        if up_to_lsn is not None and up_to_lsn < self._durable_end:
+            return
+        if self._durable_end >= end:
+            return
+        nbytes = end - self._durable_end
+        # Group commit: the caller waits for the submission, the transfer
+        # drains asynchronously (accrues as log-device utilization).
+        self.env.log_device.write_seq_async(nbytes)
+        self.env.stats.log_flushes += 1
+        self.env.stats.log_write_bytes += nbytes
+        self._durable_end = end
+
+    def append_and_flush(self, record: LogRecord) -> int:
+        lsn = self.append(record)
+        self.flush()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Random reads (page-oriented undo's access path)
+    # ------------------------------------------------------------------
+
+    def _check_readable(self, lsn: int) -> None:
+        if lsn < self._truncated_before:
+            raise LogTruncatedError(
+                f"LSN {format_lsn(lsn)} is below the retention horizon "
+                f"{format_lsn(self._truncated_before)}"
+            )
+        if lsn < self._base or lsn >= self.end_lsn:
+            raise WalError(
+                f"LSN {format_lsn(lsn)} out of log range "
+                f"[{format_lsn(self._base)}, {format_lsn(self.end_lsn)})"
+            )
+
+    def _touch_block(self, lsn: int, *, sequential: bool, undo: bool) -> None:
+        """Account (and charge) the block access containing ``lsn``."""
+        if lsn >= self._durable_end:
+            return  # volatile tail: still in memory, free
+        block = lsn // self.block_size
+        stats = self.env.stats
+        if block in self._cache:
+            self._cache.move_to_end(block)
+            if undo:
+                stats.undo_log_cache_hits += 1
+            return
+        if sequential:
+            self.env.log_device.read_seq(self.block_size)
+            stats.log_scan_reads += 1
+            stats.log_scan_bytes += self.block_size
+        else:
+            self.env.log_device.read_random(self.block_size)
+            if undo:
+                stats.undo_log_reads += 1
+        self._cache[block] = None
+        while len(self._cache) > self.cache_blocks:
+            self._cache.popitem(last=False)
+
+    def read(self, lsn: int, *, for_undo: bool = False) -> LogRecord:
+        """Fetch the record at ``lsn`` (random access)."""
+        self._check_readable(lsn)
+        self._touch_block(lsn, sequential=False, undo=for_undo)
+        record, _end = decode_record(self._data, lsn - self._base, lsn)
+        return record
+
+    def undo_fetch(self, lsn: int) -> LogRecord:
+        """``read`` bound for undo paths: counted as an undo log access."""
+        return self.read(lsn, for_undo=True)
+
+    # ------------------------------------------------------------------
+    # Sequential scans (recovery, SplitLSN search, roll-forward)
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        from_lsn: int,
+        to_lsn: int | None = None,
+        *,
+        stop_on_torn_tail: bool = False,
+    ):
+        """Yield records with ``from_lsn <= record.lsn < to_lsn`` in order.
+
+        With ``stop_on_torn_tail`` the scan ends silently at the first
+        undecodable record — the behavior recovery relies on to find the
+        end of a crash-truncated log.
+        """
+        if from_lsn < self._truncated_before:
+            raise LogTruncatedError(
+                f"scan start {format_lsn(from_lsn)} is below the retention "
+                f"horizon {format_lsn(self._truncated_before)}"
+            )
+        limit = self.end_lsn if to_lsn is None else min(to_lsn, self.end_lsn)
+        lsn = max(from_lsn, FIRST_LSN, self._base)
+        while lsn < limit:
+            self._touch_block(lsn, sequential=True, undo=False)
+            try:
+                record, end_offset = decode_record(self._data, lsn - self._base, lsn)
+            except LogRecordDecodeError:
+                if stop_on_torn_tail:
+                    return
+                raise
+            yield record
+            lsn = self._base + end_offset
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a crash: the volatile tail and the cache vanish."""
+        keep = self._durable_end - self._base
+        del self._data[keep:]
+        self._cache.clear()
+
+    def truncate_before(self, lsn: int) -> None:
+        """Drop all records with LSN < ``lsn`` (retention enforcement).
+
+        Only durable prefixes may be truncated. The freed bytes are
+        physically released.
+        """
+        if lsn <= self._truncated_before:
+            return
+        if lsn > self._durable_end:
+            raise WalError(
+                f"cannot truncate at {format_lsn(lsn)} beyond durable "
+                f"boundary {format_lsn(self._durable_end)}"
+            )
+        cut = lsn - self._base
+        del self._data[:cut]
+        self._base = lsn
+        self._truncated_before = lsn
+
+    def __repr__(self) -> str:
+        return (
+            f"LogManager(end={format_lsn(self.end_lsn)}, "
+            f"durable={format_lsn(self._durable_end)}, "
+            f"start={format_lsn(self._truncated_before)}, "
+            f"bytes={len(self._data)})"
+        )

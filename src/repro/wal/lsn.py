@@ -1,0 +1,23 @@
+"""Log sequence numbers.
+
+An LSN is the byte offset of a record's start within the log stream —
+monotonically increasing, totally ordering all records, and directly
+seekable for the random reads page-oriented undo performs. LSN 0 is the
+null LSN; the stream begins with an 8-byte file header, so the first real
+record sits at LSN 8.
+"""
+
+from __future__ import annotations
+
+#: "No LSN": chain terminators, unset page LSNs.
+NULL_LSN = 0
+
+#: LSN of the first record in a fresh log (past the stream header).
+FIRST_LSN = 8
+
+
+def format_lsn(lsn: int) -> str:
+    """Human-readable LSN rendering used in error messages and tooling."""
+    if lsn == NULL_LSN:
+        return "NULL"
+    return f"{lsn:#x}"

@@ -1,0 +1,990 @@
+"""Log record types, their serialization, and their redo/undo semantics.
+
+Every record that modifies a page carries ``prev_page_lsn`` — the page's
+LSN before this modification — forming the per-page back-chain that
+``PreparePageAsOf`` (paper section 4) walks. Records expose two operations:
+
+* ``redo(page)`` — replay the modification (ARIES redo pass, restore
+  roll-forward). Physiological: a logical operation on an identified page.
+* ``physical_undo(page, fetch)`` — exactly invert the modification on the
+  page, used by page-oriented undo while walking the chain in reverse.
+  ``fetch`` is a callable ``lsn -> LogRecord`` used to *derive* undo
+  information that the paper's section 4.2 extensions would have embedded:
+  a structure-modification delete without a row image derives it from its
+  paired insert; a CLR without undo info derives it from the record it
+  compensates. Derivation costs extra log reads — the trade-off the paper
+  calls out when it "chooses simplicity over optimizing the size".
+
+Transaction rollback does **not** use ``physical_undo`` for ordinary row
+operations; it performs *logical* undo (re-locating the row by key) because
+other transactions may have shifted slots or structure modifications may
+have moved rows to other pages. Rollback lives in
+:mod:`repro.txn.manager`; the per-record payloads here (``key_bytes``,
+``row``) are what it consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+
+from repro.errors import (
+    LogRecordDecodeError,
+    MissingUndoInfoError,
+    WalError,
+)
+from repro.storage.page import (
+    NULL_PAGE,
+    Page,
+    PageType,
+    alloc_bitmap_geometry,
+    ever_bit_offset,
+)
+from repro.wal.lsn import NULL_LSN, format_lsn
+
+#: Magic bytes opening the log stream (LSN space starts after them).
+LOG_HEADER_MAGIC = b"REPROLOG"
+
+#: Record flag: part of a B-tree structure modification (system transaction).
+FLAG_SMO = 0x01
+#: Record flag: heap row (rollback tombstones instead of key lookup).
+FLAG_HEAP = 0x02
+
+_HEADER = struct.Struct("<IBBQQIQII")
+HEADER_SIZE = _HEADER.size  # 42 bytes
+
+
+class RecordType(enum.IntEnum):
+    """Wire discriminator for log records."""
+
+    BEGIN = 1
+    COMMIT = 2
+    ABORT = 3
+    CHECKPOINT_BEGIN = 4
+    CHECKPOINT_END = 5
+    FORMAT_PAGE = 6
+    PREFORMAT_PAGE = 7
+    PAGE_IMAGE = 8
+    INSERT_ROW = 9
+    DELETE_ROW = 10
+    UPDATE_ROW = 11
+    SET_LINKS = 12
+    ALLOC_PAGE = 13
+    DEALLOC_PAGE = 14
+    DEFORMAT_PAGE = 15
+    CLR = 16
+
+
+class _Writer:
+    """Little-endian body serializer."""
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, v: int) -> None:
+        self.buf += v.to_bytes(1, "little")
+
+    def u16(self, v: int) -> None:
+        self.buf += v.to_bytes(2, "little")
+
+    def u32(self, v: int) -> None:
+        self.buf += v.to_bytes(4, "little")
+
+    def u64(self, v: int) -> None:
+        self.buf += v.to_bytes(8, "little")
+
+    def f64(self, v: float) -> None:
+        self.buf += struct.pack("<d", v)
+
+    def blob(self, b: bytes) -> None:
+        self.u32(len(b))
+        self.buf += b
+
+    def opt_blob(self, b: bytes | None) -> None:
+        if b is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.blob(b)
+
+
+class _Reader:
+    """Little-endian body deserializer."""
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def u8(self) -> int:
+        v = self.data[self.pos]
+        self.pos += 1
+        return v
+
+    def u16(self) -> int:
+        v = int.from_bytes(self.data[self.pos : self.pos + 2], "little")
+        self.pos += 2
+        return v
+
+    def u32(self) -> int:
+        v = int.from_bytes(self.data[self.pos : self.pos + 4], "little")
+        self.pos += 4
+        return v
+
+    def u64(self) -> int:
+        v = int.from_bytes(self.data[self.pos : self.pos + 8], "little")
+        self.pos += 8
+        return v
+
+    def f64(self) -> float:
+        (v,) = struct.unpack_from("<d", self.data, self.pos)
+        self.pos += 8
+        return v
+
+    def blob(self) -> bytes:
+        n = self.u32()
+        b = bytes(self.data[self.pos : self.pos + n])
+        self.pos += n
+        return b
+
+    def opt_blob(self) -> bytes | None:
+        if self.u8() == 0:
+            return None
+        return self.blob()
+
+
+_REGISTRY: dict[int, type] = {}
+
+
+class LogRecord:
+    """Base class: common header fields plus redo/undo protocol."""
+
+    TYPE: RecordType
+    #: Participates in a page's modification chain (has a meaningful
+    #: page_id / prev_page_lsn). Note page 0 (boot) is a real page, so this
+    #: cannot be inferred from ``page_id != 0``.
+    IS_PAGE_MOD = False
+    #: Transaction rollback generates a CLR for this record.
+    UNDOABLE_IN_ROLLBACK = False
+
+    __slots__ = (
+        "lsn",
+        "flags",
+        "txn_id",
+        "prev_txn_lsn",
+        "page_id",
+        "prev_page_lsn",
+        "object_id",
+    )
+
+    def __init__(
+        self,
+        txn_id: int = 0,
+        prev_txn_lsn: int = NULL_LSN,
+        page_id: int = 0,
+        prev_page_lsn: int = NULL_LSN,
+        object_id: int = 0,
+        flags: int = 0,
+    ) -> None:
+        self.lsn = NULL_LSN
+        self.txn_id = txn_id
+        self.prev_txn_lsn = prev_txn_lsn
+        self.page_id = page_id
+        self.prev_page_lsn = prev_page_lsn
+        self.object_id = object_id
+        self.flags = flags
+
+    def __init_subclass__(cls, **kw) -> None:
+        super().__init_subclass__(**kw)
+        if hasattr(cls, "TYPE"):
+            _REGISTRY[int(cls.TYPE)] = cls
+
+    @property
+    def is_smo(self) -> bool:
+        return bool(self.flags & FLAG_SMO)
+
+    @property
+    def is_heap(self) -> bool:
+        return bool(self.flags & FLAG_HEAP)
+
+    # -- serialization -------------------------------------------------
+
+    def pack_body(self, w: _Writer) -> None:
+        """Append the type-specific body (override in subclasses)."""
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        """Parse the type-specific body into constructor kwargs."""
+        return {}
+
+    def serialize(self) -> bytes:
+        w = _Writer()
+        self.pack_body(w)
+        body = bytes(w.buf)
+        total = HEADER_SIZE + len(body)
+        header = _HEADER.pack(
+            total,
+            int(self.TYPE),
+            self.flags,
+            self.txn_id,
+            self.prev_txn_lsn,
+            self.page_id,
+            self.prev_page_lsn,
+            self.object_id,
+            0,
+        )
+        crc = zlib.crc32(header) & 0xFFFFFFFF
+        crc = zlib.crc32(body, crc) & 0xFFFFFFFF
+        header = header[:-4] + crc.to_bytes(4, "little")
+        return header + body
+
+    # -- redo / physical undo -------------------------------------------
+
+    def redo(self, page: Page, fetch=None) -> None:
+        """Replay this modification on ``page``."""
+        raise WalError(f"{type(self).__name__} is not redoable on a page")
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        """Exactly invert this modification on ``page``.
+
+        Called by page-oriented undo while walking a page's chain in
+        strict reverse order, so slot references are valid by construction.
+        """
+        raise WalError(f"{type(self).__name__} is not physically undoable")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(lsn={format_lsn(self.lsn)}, "
+            f"txn={self.txn_id}, page={self.page_id}, "
+            f"prev_page={format_lsn(self.prev_page_lsn)})"
+        )
+
+
+def decode_record(data, offset: int, lsn: int = NULL_LSN) -> tuple[LogRecord, int]:
+    """Decode one record at ``offset``; returns (record, end offset).
+
+    Raises :class:`LogRecordDecodeError` on truncation or CRC mismatch —
+    the signal recovery uses to find the end of a torn log tail.
+    """
+    if offset + HEADER_SIZE > len(data):
+        raise LogRecordDecodeError(f"truncated header at offset {offset}")
+    (
+        total,
+        rtype,
+        flags,
+        txn_id,
+        prev_txn_lsn,
+        page_id,
+        prev_page_lsn,
+        object_id,
+        crc,
+    ) = _HEADER.unpack_from(data, offset)
+    if total < HEADER_SIZE or offset + total > len(data):
+        raise LogRecordDecodeError(
+            f"truncated record at offset {offset} (claims {total} bytes)"
+        )
+    raw = bytes(data[offset : offset + total])
+    check = raw[: HEADER_SIZE - 4] + b"\0\0\0\0" + raw[HEADER_SIZE:]
+    if zlib.crc32(check) & 0xFFFFFFFF != crc:
+        raise LogRecordDecodeError(f"CRC mismatch at offset {offset}")
+    cls = _REGISTRY.get(rtype)
+    if cls is None:
+        raise LogRecordDecodeError(f"unknown record type {rtype} at {offset}")
+    kwargs = cls.unpack_body(_Reader(raw, HEADER_SIZE))
+    rec = cls(
+        txn_id=txn_id,
+        prev_txn_lsn=prev_txn_lsn,
+        page_id=page_id,
+        prev_page_lsn=prev_page_lsn,
+        object_id=object_id,
+        flags=flags,
+        **kwargs,
+    )
+    rec.lsn = lsn
+    return rec, offset + total
+
+
+# ---------------------------------------------------------------------------
+# Transaction control records
+# ---------------------------------------------------------------------------
+
+
+class BeginRecord(LogRecord):
+    """Transaction start."""
+
+    TYPE = RecordType.BEGIN
+    __slots__ = ()
+
+
+class CommitRecord(LogRecord):
+    """Transaction commit; carries the wall-clock time used by SplitLSN
+    search (section 5.1)."""
+
+    TYPE = RecordType.COMMIT
+    __slots__ = ("wall_clock",)
+
+    def __init__(self, wall_clock: float = 0.0, **kw) -> None:
+        super().__init__(**kw)
+        self.wall_clock = wall_clock
+
+    def pack_body(self, w: _Writer) -> None:
+        w.f64(self.wall_clock)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"wall_clock": r.f64()}
+
+
+class AbortRecord(LogRecord):
+    """Transaction fully rolled back (end of its log chain)."""
+
+    TYPE = RecordType.ABORT
+    __slots__ = ()
+
+
+class CheckpointBeginRecord(LogRecord):
+    """Checkpoint start: wall clock, back-pointer to the previous
+    checkpoint (navigated by SplitLSN search), and the active-transaction
+    table (consumed by as-of snapshot recovery's analysis pass)."""
+
+    TYPE = RecordType.CHECKPOINT_BEGIN
+    __slots__ = ("wall_clock", "prev_checkpoint_lsn", "active_txns")
+
+    def __init__(
+        self,
+        wall_clock: float = 0.0,
+        prev_checkpoint_lsn: int = NULL_LSN,
+        active_txns: tuple = (),
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.wall_clock = wall_clock
+        self.prev_checkpoint_lsn = prev_checkpoint_lsn
+        #: tuple of (txn_id, last_lsn) pairs.
+        self.active_txns = tuple(active_txns)
+
+    def pack_body(self, w: _Writer) -> None:
+        w.f64(self.wall_clock)
+        w.u64(self.prev_checkpoint_lsn)
+        w.u32(len(self.active_txns))
+        for txn_id, last_lsn in self.active_txns:
+            w.u64(txn_id)
+            w.u64(last_lsn)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        wall = r.f64()
+        prev = r.u64()
+        count = r.u32()
+        active = tuple((r.u64(), r.u64()) for _ in range(count))
+        return {
+            "wall_clock": wall,
+            "prev_checkpoint_lsn": prev,
+            "active_txns": active,
+        }
+
+
+class CheckpointEndRecord(LogRecord):
+    """Checkpoint completion marker."""
+
+    TYPE = RecordType.CHECKPOINT_END
+    __slots__ = ("begin_lsn",)
+
+    def __init__(self, begin_lsn: int = NULL_LSN, **kw) -> None:
+        super().__init__(**kw)
+        self.begin_lsn = begin_lsn
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u64(self.begin_lsn)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"begin_lsn": r.u64()}
+
+
+# ---------------------------------------------------------------------------
+# Page lifecycle records
+# ---------------------------------------------------------------------------
+
+
+class FormatPageRecord(LogRecord):
+    """Page formatted for an object (first write of an allocation).
+
+    Starts a page's modification chain. On re-allocation the chain is
+    preceded by a :class:`PreformatPageRecord` (``prev_page_lsn`` points at
+    it) so page-oriented undo can cross into the prior incarnation — the
+    fix for the broken chain of paper Figure 1.
+    """
+
+    TYPE = RecordType.FORMAT_PAGE
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("page_type", "index_id", "level", "prev_page", "next_page")
+
+    def __init__(
+        self,
+        page_type: int = int(PageType.UNFORMATTED),
+        index_id: int = 0,
+        level: int = 0,
+        prev_page: int = NULL_PAGE,
+        next_page: int = NULL_PAGE,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.page_type = int(page_type)
+        self.index_id = index_id
+        self.level = level
+        self.prev_page = prev_page
+        self.next_page = next_page
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u8(self.page_type)
+        w.u16(self.index_id)
+        w.u8(self.level)
+        w.u32(self.prev_page)
+        w.u32(self.next_page)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {
+            "page_type": r.u8(),
+            "index_id": r.u16(),
+            "level": r.u8(),
+            "prev_page": r.u32(),
+            "next_page": r.u32(),
+        }
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.format(
+            self.page_id,
+            PageType(self.page_type),
+            object_id=self.object_id,
+            index_id=self.index_id,
+            level=self.level,
+            prev_page=self.prev_page,
+            next_page=self.next_page,
+        )
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        # Before a first-time format the page held nothing; before a
+        # re-allocation format the preceding preformat record (next on the
+        # chain walk) restores the prior image over these zeroes.
+        page.deformat()
+
+
+class PreformatPageRecord(LogRecord):
+    """The paper's section 4.2 extension: logged when a page is
+    *re-allocated*, storing the prior incarnation's full content.
+
+    ``prev_page_lsn`` points at the prior content's pageLSN, splicing the
+    old chain onto the new one (paper Figure 2). Redo is a no-op (the page
+    is about to be formatted); physical undo restores the stored image,
+    which is how as-of queries read dropped-and-overwritten tables.
+    """
+
+    TYPE = RecordType.PREFORMAT_PAGE
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = False
+    __slots__ = ("image",)
+
+    def __init__(self, image: bytes = b"", **kw) -> None:
+        super().__init__(**kw)
+        self.image = image
+
+    def pack_body(self, w: _Writer) -> None:
+        w.blob(self.image)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"image": r.blob()}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        """No page change: the record only preserves history."""
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        page.restore(self.image)
+
+
+class PageImageRecord(LogRecord):
+    """Optional full page image after every Nth modification (section 6.1).
+
+    Image records form their own back-chain via ``prev_image_lsn`` (the
+    page header stores ``last_image_lsn``), letting undo jump to the first
+    image after the target LSN instead of undoing every modification.
+    """
+
+    TYPE = RecordType.PAGE_IMAGE
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = False
+    __slots__ = ("image", "prev_image_lsn")
+
+    def __init__(self, image: bytes = b"", prev_image_lsn: int = NULL_LSN, **kw) -> None:
+        super().__init__(**kw)
+        self.image = image
+        self.prev_image_lsn = prev_image_lsn
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u64(self.prev_image_lsn)
+        w.blob(self.image)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"prev_image_lsn": r.u64(), "image": r.blob()}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.restore(self.image)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        """No-op: the image did not change the page, it recorded it."""
+
+
+class DeformatPageRecord(LogRecord):
+    """Compensation body for undoing a format (page returns to zeroes).
+
+    Appears only nested inside CLRs; stores the original format parameters
+    so the CLR itself stays physically undoable without derivation.
+    """
+
+    TYPE = RecordType.DEFORMAT_PAGE
+    IS_PAGE_MOD = True
+    __slots__ = ("page_type", "index_id", "level")
+
+    def __init__(self, page_type: int = 0, index_id: int = 0, level: int = 0, **kw) -> None:
+        super().__init__(**kw)
+        self.page_type = page_type
+        self.index_id = index_id
+        self.level = level
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u8(self.page_type)
+        w.u16(self.index_id)
+        w.u8(self.level)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"page_type": r.u8(), "index_id": r.u16(), "level": r.u8()}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.deformat()
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        page.format(
+            self.page_id,
+            PageType(self.page_type),
+            object_id=self.object_id,
+            index_id=self.index_id,
+            level=self.level,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Row modification records
+# ---------------------------------------------------------------------------
+
+
+class InsertRowRecord(LogRecord):
+    """Row (or index entry) inserted at a slot.
+
+    Self-contained for undo: the inserted payload is the redo image, and
+    its inverse is a plain slot delete.
+    """
+
+    TYPE = RecordType.INSERT_ROW
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("slot", "row", "key_bytes")
+
+    def __init__(self, slot: int = 0, row: bytes = b"", key_bytes: bytes = b"", **kw) -> None:
+        super().__init__(**kw)
+        self.slot = slot
+        self.row = row
+        self.key_bytes = key_bytes
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u16(self.slot)
+        w.blob(self.row)
+        w.blob(self.key_bytes)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"slot": r.u16(), "row": r.blob(), "key_bytes": r.blob()}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.insert_record(self.slot, self.row)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        page.delete_record(self.slot)
+
+
+class DeleteRowRecord(LogRecord):
+    """Row (or index entry) deleted from a slot.
+
+    Ordinary deletes always carry the row image (classic ARIES needs it
+    for rollback). Structure-modification deletes (the delete half of a
+    B-tree row move) are redo-only in the baseline; with the section 4.2
+    extension (``smo_delete_undo_info``) they carry the row too, otherwise
+    undo derives it from the paired insert via ``pair_lsn`` at the cost of
+    an extra log read.
+    """
+
+    TYPE = RecordType.DELETE_ROW
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("slot", "row", "key_bytes", "pair_lsn")
+
+    def __init__(
+        self,
+        slot: int = 0,
+        row: bytes | None = None,
+        key_bytes: bytes = b"",
+        pair_lsn: int = NULL_LSN,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.slot = slot
+        self.row = row
+        self.key_bytes = key_bytes
+        self.pair_lsn = pair_lsn
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u16(self.slot)
+        w.opt_blob(self.row)
+        w.blob(self.key_bytes)
+        w.u64(self.pair_lsn)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {
+            "slot": r.u16(),
+            "row": r.opt_blob(),
+            "key_bytes": r.blob(),
+            "pair_lsn": r.u64(),
+        }
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.delete_record(self.slot)
+
+    def resolve_row(self, fetch=None) -> bytes:
+        """The deleted payload: embedded, or derived from the paired insert."""
+        if self.row is not None:
+            return self.row
+        if self.pair_lsn != NULL_LSN and fetch is not None:
+            paired = fetch(self.pair_lsn)
+            if isinstance(paired, InsertRowRecord):
+                return paired.row
+        raise MissingUndoInfoError(
+            f"delete at lsn {format_lsn(self.lsn)} carries no row image "
+            f"and it cannot be derived (pair_lsn={format_lsn(self.pair_lsn)})"
+        )
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        page.insert_record(self.slot, self.resolve_row(fetch))
+
+
+class UpdateRowRecord(LogRecord):
+    """Row payload replaced in place (same slot, new bytes)."""
+
+    TYPE = RecordType.UPDATE_ROW
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("slot", "old", "new", "key_bytes")
+
+    def __init__(
+        self,
+        slot: int = 0,
+        old: bytes | None = None,
+        new: bytes = b"",
+        key_bytes: bytes = b"",
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.slot = slot
+        self.old = old
+        self.new = new
+        self.key_bytes = key_bytes
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u16(self.slot)
+        w.opt_blob(self.old)
+        w.blob(self.new)
+        w.blob(self.key_bytes)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {
+            "slot": r.u16(),
+            "old": r.opt_blob(),
+            "new": r.blob(),
+            "key_bytes": r.blob(),
+        }
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.update_record(self.slot, self.new)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        if self.old is None:
+            raise MissingUndoInfoError(
+                f"update at lsn {format_lsn(self.lsn)} carries no before-image"
+            )
+        page.update_record(self.slot, self.old)
+
+
+class SetLinksRecord(LogRecord):
+    """Sibling-chain pointer update (B-tree leaf chain during splits)."""
+
+    TYPE = RecordType.SET_LINKS
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("old_prev", "old_next", "new_prev", "new_next")
+
+    def __init__(
+        self,
+        old_prev: int = NULL_PAGE,
+        old_next: int = NULL_PAGE,
+        new_prev: int = NULL_PAGE,
+        new_next: int = NULL_PAGE,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.old_prev = old_prev
+        self.old_next = old_next
+        self.new_prev = new_prev
+        self.new_next = new_next
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u32(self.old_prev)
+        w.u32(self.old_next)
+        w.u32(self.new_prev)
+        w.u32(self.new_next)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {
+            "old_prev": r.u32(),
+            "old_next": r.u32(),
+            "new_prev": r.u32(),
+            "new_next": r.u32(),
+        }
+
+    def redo(self, page: Page, fetch=None) -> None:
+        page.prev_page = self.new_prev
+        page.next_page = self.new_next
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        page.prev_page = self.old_prev
+        page.next_page = self.old_next
+
+
+# ---------------------------------------------------------------------------
+# Allocation map records
+# ---------------------------------------------------------------------------
+
+
+def _alloc_bit_indexes(page: Page, map_page_id: int, target_page: int) -> tuple[int, int]:
+    """Bit positions (allocated, ever-allocated) of ``target_page`` within
+    its allocation-map page body."""
+    local = target_page - (map_page_id + 1)
+    if local < 0 or local >= alloc_bitmap_geometry(page.page_size):
+        raise WalError(
+            f"page {target_page} not covered by allocation map {map_page_id}"
+        )
+    return local, ever_bit_offset(page.page_size) + local
+
+
+class AllocPageRecord(LogRecord):
+    """Allocation-map bit set: ``target_page`` becomes allocated.
+
+    ``was_ever_allocated`` is the section 4.2 metadata distinguishing the
+    first allocation (no preformat needed — the page never held data) from
+    a re-allocation (preformat must preserve the prior content).
+    """
+
+    TYPE = RecordType.ALLOC_PAGE
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("target_page", "was_ever_allocated")
+
+    def __init__(self, target_page: int = 0, was_ever_allocated: bool = False, **kw) -> None:
+        super().__init__(**kw)
+        self.target_page = target_page
+        self.was_ever_allocated = was_ever_allocated
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u32(self.target_page)
+        w.u8(1 if self.was_ever_allocated else 0)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"target_page": r.u32(), "was_ever_allocated": bool(r.u8())}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        alloc_bit, ever_bit = _alloc_bit_indexes(page, self.page_id, self.target_page)
+        page.set_body_bit(alloc_bit, True)
+        page.set_body_bit(ever_bit, True)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        alloc_bit, ever_bit = _alloc_bit_indexes(page, self.page_id, self.target_page)
+        page.set_body_bit(alloc_bit, False)
+        page.set_body_bit(ever_bit, self.was_ever_allocated)
+
+
+class DeallocPageRecord(LogRecord):
+    """Allocation-map bit clear: ``target_page`` becomes free.
+
+    The ever-allocated bit normally stays set — that is what tells a
+    future re-allocation to log a preformat record first. ``clear_ever``
+    is used only by compensations that undo a *first-time* allocation,
+    restoring the page to never-allocated.
+    """
+
+    TYPE = RecordType.DEALLOC_PAGE
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = True
+    __slots__ = ("target_page", "clear_ever")
+
+    def __init__(self, target_page: int = 0, clear_ever: bool = False, **kw) -> None:
+        super().__init__(**kw)
+        self.target_page = target_page
+        self.clear_ever = clear_ever
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u32(self.target_page)
+        w.u8(1 if self.clear_ever else 0)
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {"target_page": r.u32(), "clear_ever": bool(r.u8())}
+
+    def redo(self, page: Page, fetch=None) -> None:
+        alloc_bit, ever_bit = _alloc_bit_indexes(page, self.page_id, self.target_page)
+        page.set_body_bit(alloc_bit, False)
+        if self.clear_ever:
+            page.set_body_bit(ever_bit, False)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        alloc_bit, ever_bit = _alloc_bit_indexes(page, self.page_id, self.target_page)
+        page.set_body_bit(alloc_bit, True)
+        page.set_body_bit(ever_bit, True)
+
+
+# ---------------------------------------------------------------------------
+# Compensation log records
+# ---------------------------------------------------------------------------
+
+
+class ClrRecord(LogRecord):
+    """Compensation log record written while undoing ``compensated_lsn``.
+
+    ``comp`` is the nested operation the compensation performs (its redo).
+    Classic ARIES CLRs are redo-only; the paper's section 4.2 extension
+    makes them undoable so page-oriented undo can walk *through* a
+    rollback. Here that works in two ways:
+
+    * with ``clr_undo_info`` the nested ``comp`` record embeds the data
+      needed to invert it (e.g. the row a compensating delete removed);
+    * without it, :meth:`physical_undo` derives that data by fetching the
+      compensated record — the derivation the paper deems possible but
+      rejects for simplicity; it costs an extra (potentially stalling)
+      log read, which the ablation benchmark measures.
+    """
+
+    TYPE = RecordType.CLR
+    IS_PAGE_MOD = True
+    UNDOABLE_IN_ROLLBACK = False  # CLRs are never compensated themselves
+    __slots__ = ("compensated_lsn", "undo_next_lsn", "comp")
+
+    def __init__(
+        self,
+        compensated_lsn: int = NULL_LSN,
+        undo_next_lsn: int = NULL_LSN,
+        comp: LogRecord | None = None,
+        comp_bytes: bytes | None = None,
+        **kw,
+    ) -> None:
+        super().__init__(**kw)
+        self.compensated_lsn = compensated_lsn
+        self.undo_next_lsn = undo_next_lsn
+        if comp is None and comp_bytes is not None:
+            comp, _ = decode_record(comp_bytes, 0)
+        if comp is None:
+            raise WalError("CLR requires a compensation operation")
+        self.comp = comp
+
+    def pack_body(self, w: _Writer) -> None:
+        w.u64(self.compensated_lsn)
+        w.u64(self.undo_next_lsn)
+        w.blob(self.comp.serialize())
+
+    @classmethod
+    def unpack_body(cls, r: _Reader) -> dict:
+        return {
+            "compensated_lsn": r.u64(),
+            "undo_next_lsn": r.u64(),
+            "comp_bytes": r.blob(),
+        }
+
+    def redo(self, page: Page, fetch=None) -> None:
+        self.comp.redo(page, fetch)
+
+    def _fetch_compensated(self, fetch):
+        if fetch is None:
+            raise MissingUndoInfoError(
+                f"CLR at {format_lsn(self.lsn)} has no undo info and no log "
+                f"access to derive it"
+            )
+        return fetch(self.compensated_lsn)
+
+    def physical_undo(self, page: Page, fetch=None) -> None:
+        comp = self.comp
+        if isinstance(comp, DeleteRowRecord):
+            # Invert a compensating delete (which undid an insert): put the
+            # row back. Derive it from the compensated insert if absent.
+            if comp.row is not None:
+                row = comp.row
+            else:
+                original = self._fetch_compensated(fetch)
+                if not isinstance(original, InsertRowRecord):
+                    raise MissingUndoInfoError(
+                        f"CLR at {format_lsn(self.lsn)}: compensated record "
+                        f"is {type(original).__name__}, cannot derive row"
+                    )
+                row = original.row
+            page.insert_record(comp.slot, row)
+        elif isinstance(comp, InsertRowRecord):
+            # Invert a compensating insert (which undid a delete).
+            page.delete_record(comp.slot)
+        elif isinstance(comp, UpdateRowRecord):
+            # Invert a compensating update: restore the value the page held
+            # before the compensation, i.e. the original update's after-image.
+            if comp.old is not None:
+                value = comp.old
+            else:
+                original = self._fetch_compensated(fetch)
+                if isinstance(original, UpdateRowRecord):
+                    value = original.new
+                elif isinstance(original, InsertRowRecord):
+                    # Heap-insert rollback tombstones the slot with an
+                    # update; the pre-tombstone value is the inserted row.
+                    value = original.row
+                else:
+                    raise MissingUndoInfoError(
+                        f"CLR at {format_lsn(self.lsn)}: compensated record "
+                        f"is {type(original).__name__}, cannot derive value"
+                    )
+            page.update_record(comp.slot, value)
+        elif isinstance(comp, PageImageRecord):
+            # Compensation restored a pre-format image (root-split
+            # rollback). Its inverse is the formatted-empty state the
+            # compensated format record produces.
+            original = self._fetch_compensated(fetch)
+            original.redo(page)
+        else:
+            # Allocation, links, format compensations are self-inverting.
+            comp.physical_undo(page, fetch)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClrRecord(lsn={format_lsn(self.lsn)}, txn={self.txn_id}, "
+            f"page={self.page_id}, compensates={format_lsn(self.compensated_lsn)}, "
+            f"comp={type(self.comp).__name__})"
+        )

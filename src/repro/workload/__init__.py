@@ -1,0 +1,33 @@
+"""Scaled-down TPC-C workload (the paper's evaluation substrate).
+
+The paper benchmarks with an internal scaled-down TPC-C (800 warehouses,
+40 GB). This package implements the same schema and transaction mix at a
+configurable (much smaller) scale: new-order and payment drive the update
+stream whose log the as-of machinery rewinds, and the stock-level
+procedure is the as-of query measured in Figures 7-11.
+"""
+
+from repro.workload.tpcc_schema import TPCC_SCHEMAS, TpccScale
+from repro.workload.tpcc_loader import load_tpcc, add_filler_table
+from repro.workload.tpcc_txns import (
+    delivery,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+from repro.workload.driver import TpccDriver, TpccResult
+
+__all__ = [
+    "TpccScale",
+    "TPCC_SCHEMAS",
+    "load_tpcc",
+    "add_filler_table",
+    "new_order",
+    "payment",
+    "order_status",
+    "delivery",
+    "stock_level",
+    "TpccDriver",
+    "TpccResult",
+]

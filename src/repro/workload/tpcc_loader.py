@@ -1,0 +1,113 @@
+"""Initial TPC-C database population."""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.workload.tpcc_schema import TPCC_SCHEMAS, TpccScale
+
+#: Rows per loading transaction (keeps commits — and log forces — chunky).
+_BATCH = 500
+
+
+def _batched(db, rows_iter, table_name: str) -> int:
+    count = 0
+    batch = []
+    for row in rows_iter:
+        batch.append(row)
+        if len(batch) >= _BATCH:
+            with db.transaction() as txn:
+                for item in batch:
+                    db.insert(txn, table_name, item)
+            count += len(batch)
+            batch = []
+    if batch:
+        with db.transaction() as txn:
+            for item in batch:
+                db.insert(txn, table_name, item)
+        count += len(batch)
+    return count
+
+
+def load_tpcc(db, scale: TpccScale, seed: int = 42) -> dict:
+    """Create and populate the TPC-C tables; returns row counts."""
+    rng = random.Random(seed)
+    for schema, is_heap in TPCC_SCHEMAS:
+        db.create_table(schema, heap=is_heap)
+
+    counts = {}
+    counts["item"] = _batched(
+        db,
+        (
+            (i, f"item-{i}", round(rng.uniform(1.0, 100.0), 2))
+            for i in range(1, scale.items + 1)
+        ),
+        "item",
+    )
+    counts["warehouse"] = _batched(
+        db,
+        ((w, f"wh-{w}", 0.0) for w in range(1, scale.warehouses + 1)),
+        "warehouse",
+    )
+    counts["district"] = _batched(
+        db,
+        (
+            (w, d, f"dist-{w}-{d}", 1, 0.0)
+            for w in range(1, scale.warehouses + 1)
+            for d in range(1, scale.districts_per_warehouse + 1)
+        ),
+        "district",
+    )
+    counts["customer"] = _batched(
+        db,
+        (
+            (
+                w,
+                d,
+                c,
+                f"cust-{w}-{d}-{c}",
+                0.0,
+                0.0,
+                0,
+                "data" * rng.randint(1, 6),
+            )
+            for w in range(1, scale.warehouses + 1)
+            for d in range(1, scale.districts_per_warehouse + 1)
+            for c in range(1, scale.customers_per_district + 1)
+        ),
+        "customer",
+    )
+    counts["stock"] = _batched(
+        db,
+        (
+            (w, i, rng.randint(10, 100), 0, 0, "s" * rng.randint(5, 25))
+            for w in range(1, scale.warehouses + 1)
+            for i in range(1, scale.items + 1)
+        ),
+        "stock",
+    )
+    db.checkpoint()
+    return counts
+
+
+def add_filler_table(db, pages: int, name: str = "filler") -> None:
+    """Add roughly ``pages`` pages of cold data (two big rows per page).
+
+    Inflates the database to a realistic size so the full-restore baseline
+    pays a cost proportional to database size (the asymmetry Figures 7/8
+    measure) without slowing the hot workload down.
+    """
+    row_bytes = db.config.page_size // 2 - 250  # two rows per page
+    schema = TableSchema(
+        name,
+        (
+            Column("f_id", ColumnType.INT),
+            Column("f_payload", ColumnType.BYTES, max_len=row_bytes),
+        ),
+        ("f_id",),
+    )
+    db.create_table(schema)
+    payload = b"\xc0" * row_bytes
+    _batched(db, ((i, payload) for i in range(pages * 2)), name)
+    db.checkpoint()

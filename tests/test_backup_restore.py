@@ -1,0 +1,139 @@
+"""Backup and point-in-time restore tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backup import FullBackup, restore_point_in_time, take_full_backup
+from repro.errors import BackupError, SnapshotReadOnlyError
+from tests.conftest import fill_items
+
+
+class TestFullBackup:
+    def test_backup_contains_all_allocated_pages(self, items_db):
+        fill_items(items_db, 50)
+        backup = take_full_backup(items_db)
+        assert set(items_db.alloc.allocated_page_ids()) == set(backup.pages)
+        assert backup.backup_lsn == items_db.last_checkpoint_lsn
+        assert backup.size_bytes == len(backup.pages) * items_db.config.page_size
+
+    def test_backup_charges_streaming_io(self, items_db):
+        fill_items(items_db, 50)
+        before = items_db.env.stats.snapshot()
+        take_full_backup(items_db)
+        spent = items_db.env.stats.delta(before)
+        assert spent.backup_read_bytes > 0
+        assert spent.backup_write_bytes >= spent.backup_read_bytes
+
+
+class TestRestore:
+    def _scenario(self, engine, items_db):
+        """Backup, then three timestamped generations of changes."""
+        db = items_db
+        fill_items(db, 20)
+        backup = take_full_backup(db)
+        marks = []
+        for gen in range(3):
+            db.env.clock.advance(10)
+            with db.transaction() as txn:
+                db.update(txn, "items", (1,), {"qty": 1000 + gen})
+                db.insert(txn, "items", (100 + gen, f"gen{gen}", gen))
+            marks.append(db.env.clock.now())
+            db.env.clock.advance(10)
+        return backup, marks
+
+    def test_restore_to_each_generation(self, engine, items_db):
+        backup, marks = self._scenario(engine, items_db)
+        for gen, when in enumerate(marks):
+            restored = restore_point_in_time(
+                engine, backup, items_db, when, f"restored{gen}"
+            )
+            assert restored.get("items", (1,))[2] == 1000 + gen
+            present = {r[0] for r in restored.scan("items")}
+            assert {100 + g for g in range(gen + 1)}.issubset(present)
+            assert 100 + gen + 1 not in present
+
+    def test_restored_is_read_only(self, engine, items_db):
+        backup, marks = self._scenario(engine, items_db)
+        restored = restore_point_in_time(engine, backup, items_db, marks[0], "ro")
+        with pytest.raises(SnapshotReadOnlyError):
+            restored.begin()
+
+    def test_restore_undoes_in_flight(self, engine, items_db):
+        db = items_db
+        fill_items(db, 10)
+        backup = take_full_backup(db)
+        straddler = db.begin()
+        db.update(straddler, "items", (2,), {"qty": -2})
+        anchor = db.begin()
+        db.insert(anchor, "items", (50, "anchor", 0))
+        db.commit(anchor)
+        mark = db.env.clock.now()
+        db.env.clock.advance(5)
+        db.commit(straddler)
+        restored = restore_point_in_time(engine, backup, db, mark, "mid")
+        assert restored.get("items", (2,))[2] == 20
+        assert restored.get("items", (50,)) is not None
+
+    def test_restore_before_backup_rejected(self, engine, items_db):
+        db = items_db
+        fill_items(db, 5)
+        db.env.clock.advance(100)
+        backup = take_full_backup(db)
+        with pytest.raises(BackupError):
+            restore_point_in_time(engine, backup, db, 1.0, "early")
+
+    def test_restore_with_truncated_log_rejected(self, engine, items_db):
+        db = items_db
+        db.set_undo_interval(10)
+        fill_items(db, 5)
+        backup = take_full_backup(db)
+        db.env.clock.advance(1000)
+        db.checkpoint()
+        db.env.clock.advance(1000)
+        db.checkpoint()
+        db.enforce_retention()
+        assert db.log.start_lsn > backup.backup_lsn
+        with pytest.raises(BackupError):
+            restore_point_in_time(
+                engine, backup, db, db.env.clock.now(), "broken"
+            )
+
+    def test_restore_and_asof_agree(self, engine, items_db):
+        """The two time-travel mechanisms must produce identical data."""
+        db = items_db
+        fill_items(db, 30)
+        backup = take_full_backup(db)
+        db.env.clock.advance(10)
+        with db.transaction() as txn:
+            for i in range(15):
+                db.update(txn, "items", (i,), {"qty": -i})
+        mark = db.env.clock.now()
+        db.env.clock.advance(10)
+        with db.transaction() as txn:
+            for i in range(30):
+                db.delete(txn, "items", (i,))
+        restored = restore_point_in_time(engine, backup, db, mark, "agree")
+        snap = engine.create_asof_snapshot("itemsdb", "agree_snap", mark)
+        assert list(restored.scan("items")) == list(snap.scan("items"))
+
+    def test_restore_preserves_structure_after_splits(self, engine, small_db):
+        from tests.conftest import ITEMS_SCHEMA
+
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 50)
+        backup = take_full_backup(db)
+        db.env.clock.advance(5)
+        fill_items(db, 400, start=50)  # splits after the backup
+        mark = db.env.clock.now()
+        db.env.clock.advance(5)
+        fill_items(db, 100, start=450)
+        restored = restore_point_in_time(engine, backup, db, mark, "grown")
+        assert [r[0] for r in restored.scan("items")] == list(range(450))
+
+    def test_backup_repr(self, items_db):
+        fill_items(items_db, 5)
+        backup = take_full_backup(items_db)
+        assert isinstance(backup, FullBackup)
+        assert "FullBackup" in repr(backup)

@@ -1,0 +1,228 @@
+"""B-tree tests: CRUD, splits across levels, scans, invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.btree import BTree, decode_entry, encode_entry
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from tests.conftest import ITEMS_SCHEMA, fill_items
+
+
+def tree_of(db, name="items") -> BTree:
+    return db.table(name).accessor
+
+
+class TestEntryCodec:
+    def test_inf_entry(self):
+        child, key = decode_entry(encode_entry(42, None))
+        assert child == 42
+        assert key is None
+
+    def test_keyed_entry(self):
+        child, key = decode_entry(encode_entry(7, b"\x01\x02"))
+        assert child == 7
+        assert key == b"\x01\x02"
+
+
+class TestCrud:
+    def test_get_missing(self, items_db):
+        assert items_db.get("items", (1,)) is None
+
+    def test_insert_get(self, items_db):
+        with items_db.transaction() as txn:
+            items_db.insert(txn, "items", (1, "one", 10))
+        assert items_db.get("items", (1,)) == (1, "one", 10)
+
+    def test_duplicate_rejected(self, items_db):
+        with items_db.transaction() as txn:
+            items_db.insert(txn, "items", (1, "one", 10))
+        with pytest.raises(DuplicateKeyError):
+            with items_db.transaction() as txn:
+                items_db.insert(txn, "items", (1, "again", 0))
+        # The failed transaction rolled back cleanly.
+        assert items_db.get("items", (1,)) == (1, "one", 10)
+
+    def test_delete_missing_raises(self, items_db):
+        with pytest.raises(KeyNotFoundError):
+            with items_db.transaction() as txn:
+                items_db.delete(txn, "items", (404,))
+
+    def test_update_missing_raises(self, items_db):
+        with pytest.raises(KeyNotFoundError):
+            with items_db.transaction() as txn:
+                items_db.update(txn, "items", (404,), {"qty": 1})
+
+    def test_update_key_change_rejected(self, items_db):
+        from repro.errors import StorageError
+
+        with items_db.transaction() as txn:
+            items_db.insert(txn, "items", (1, "one", 10))
+        tree = tree_of(items_db)
+        with pytest.raises(StorageError):
+            with items_db.transaction() as txn:
+                tree.update(txn, (1,), (2, "one", 10))
+
+    def test_dict_row_insert(self, items_db):
+        with items_db.transaction() as txn:
+            items_db.insert(txn, "items", {"id": 5, "name": "five", "qty": 50})
+        assert items_db.get("items", (5,)) == (5, "five", 50)
+
+
+class TestSplits:
+    def test_leaf_splits_preserve_all_rows(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 300)
+        assert tree_of(db).height() >= 2
+        rows = list(db.scan("items"))
+        assert len(rows) == 300
+        assert [r[0] for r in rows] == list(range(300))
+
+    def test_multi_level_tree(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 2000)
+        tree = tree_of(db)
+        assert tree.height() >= 3
+        assert tree.count() == 2000
+        # Spot-check point queries after deep splits.
+        for key in (0, 999, 1999, 1234):
+            assert db.get("items", (key,))[0] == key
+
+    def test_reverse_insert_order(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        with db.transaction() as txn:
+            for i in range(500, 0, -1):
+                db.insert(txn, "items", (i, f"i{i}", i))
+        rows = [r[0] for r in db.scan("items")]
+        assert rows == list(range(1, 501))
+
+    def test_random_insert_order(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        keys = list(range(800))
+        random.Random(7).shuffle(keys)
+        with db.transaction() as txn:
+            for k in keys:
+                db.insert(txn, "items", (k, f"i{k}", k))
+        assert [r[0] for r in db.scan("items")] == list(range(800))
+
+    def test_growing_updates_force_splits(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 60)
+        with db.transaction() as txn:
+            for i in range(60):
+                db.update(txn, "items", (i,), {"name": "x" * 60})
+        rows = list(db.scan("items"))
+        assert len(rows) == 60
+        assert all(r[1] == "x" * 60 for r in rows)
+
+    def test_page_ids_covers_tree(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 500)
+        tree = tree_of(db)
+        pids = tree.page_ids()
+        assert tree.root_page_id in pids
+        assert len(pids) == len(set(pids))
+        assert len(pids) > 3
+
+
+class TestScans:
+    def test_range_scan(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 200)
+        rows = list(db.scan("items", lo=(50,), hi=(59,)))
+        assert [r[0] for r in rows] == list(range(50, 60))
+
+    def test_scan_open_ended(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 100)
+        assert [r[0] for r in db.scan("items", lo=(90,))] == list(range(90, 100))
+        assert [r[0] for r in db.scan("items", hi=(9,))] == list(range(10))
+
+    def test_scan_empty_table(self, items_db):
+        assert list(items_db.scan("items")) == []
+
+    def test_scan_after_deletes(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 150)
+        with db.transaction() as txn:
+            for i in range(0, 150, 3):
+                db.delete(txn, "items", (i,))
+        rows = [r[0] for r in db.scan("items")]
+        assert rows == [i for i in range(150) if i % 3]
+
+    def test_composite_key_ordering(self, engine, wide_schema):
+        db = engine.create_database("wide_db")
+        db.create_table(wide_schema)
+        with db.transaction() as txn:
+            for k1 in (2, 1):
+                for k2 in ("b", "a"):
+                    db.insert(txn, "wide", (k1, k2, 0.0, False, None, None))
+        keys = [(r[0], r[1]) for r in db.scan("wide")]
+        assert keys == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+
+class TestDeleteChurn:
+    def test_empty_then_refill(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 300)
+        with db.transaction() as txn:
+            for i in range(300):
+                db.delete(txn, "items", (i,))
+        assert list(db.scan("items")) == []
+        fill_items(db, 100, start=1000)
+        assert tree_of(db).count() == 100
+
+
+# ---------------------------------------------------------------------------
+# Property: random op sequences match a dict model.
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "get"]),
+        st.integers(min_value=0, max_value=120),
+        st.text(min_size=0, max_size=24),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops)
+def test_btree_matches_dict_model(ops):
+    from repro import DatabaseConfig, Engine
+
+    engine = Engine(config=DatabaseConfig(page_size=1024, buffer_pool_pages=64))
+    db = engine.create_database("prop")
+    db.create_table(ITEMS_SCHEMA)
+    model: dict[int, tuple] = {}
+    with db.transaction() as txn:
+        for op, key, text in ops:
+            if op == "insert" and key not in model:
+                row = (key, text, key * 2)
+                db.insert(txn, "items", row)
+                model[key] = row
+            elif op == "delete" and key in model:
+                db.delete(txn, "items", (key,))
+                del model[key]
+            elif op == "update" and key in model:
+                row = db.update(txn, "items", (key,), {"name": text})
+                model[key] = row
+            elif op == "get":
+                assert db.get("items", (key,), txn) == model.get(key)
+    assert {r[0]: r for r in db.scan("items")} == model

@@ -1,0 +1,142 @@
+"""Savepoint (partial rollback) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransactionError
+from tests.conftest import ITEMS_SCHEMA, fill_items
+
+
+class TestSavepoints:
+    def test_partial_rollback(self, items_db):
+        db = items_db
+        fill_items(db, 5)
+        txn = db.begin()
+        db.insert(txn, "items", (10, "keep", 1))
+        db.savepoint(txn, "sp1")
+        db.insert(txn, "items", (11, "drop", 2))
+        db.update(txn, "items", (1,), {"qty": -1})
+        db.rollback_to(txn, "sp1")
+        # Post-savepoint work gone, pre-savepoint work intact, txn alive.
+        db.insert(txn, "items", (12, "more", 3))
+        db.commit(txn)
+        assert db.get("items", (10,)) is not None
+        assert db.get("items", (11,)) is None
+        assert db.get("items", (12,)) is not None
+        assert db.get("items", (1,))[2] == 10
+
+    def test_empty_savepoint_noop(self, items_db):
+        db = items_db
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        db.rollback_to(txn, "sp")
+        db.insert(txn, "items", (1, "a", 1))
+        db.commit(txn)
+        assert db.get("items", (1,)) is not None
+
+    def test_unknown_savepoint(self, items_db):
+        txn = items_db.begin()
+        with pytest.raises(TransactionError):
+            items_db.rollback_to(txn, "ghost")
+        items_db.rollback(txn)
+
+    def test_nested_savepoints(self, items_db):
+        db = items_db
+        txn = db.begin()
+        db.insert(txn, "items", (1, "one", 1))
+        db.savepoint(txn, "a")
+        db.insert(txn, "items", (2, "two", 2))
+        db.savepoint(txn, "b")
+        db.insert(txn, "items", (3, "three", 3))
+        db.rollback_to(txn, "b")
+        assert db.get("items", (3,), txn) is None
+        db.rollback_to(txn, "a")
+        assert db.get("items", (2,), txn) is None
+        # Savepoint b was invalidated by rolling back to a.
+        with pytest.raises(TransactionError):
+            db.rollback_to(txn, "b")
+        db.commit(txn)
+        assert [r[0] for r in db.scan("items")] == [1]
+
+    def test_rollback_to_same_savepoint_twice(self, items_db):
+        db = items_db
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        db.insert(txn, "items", (1, "x", 1))
+        db.rollback_to(txn, "sp")
+        db.insert(txn, "items", (2, "y", 2))
+        db.rollback_to(txn, "sp")
+        db.commit(txn)
+        assert list(db.scan("items")) == []
+
+    def test_full_rollback_after_partial(self, items_db):
+        db = items_db
+        fill_items(db, 3)
+        txn = db.begin()
+        db.update(txn, "items", (0,), {"qty": 100})
+        db.savepoint(txn, "sp")
+        db.update(txn, "items", (1,), {"qty": 200})
+        db.rollback_to(txn, "sp")
+        db.update(txn, "items", (2,), {"qty": 300})
+        db.rollback(txn)
+        # Everything undone exactly once; CLR chains skip correctly.
+        for key in range(3):
+            assert db.get("items", (key,))[2] == key * 10
+
+    def test_crash_after_partial_rollback(self, items_db):
+        db = items_db
+        fill_items(db, 3)
+        txn = db.begin()
+        db.update(txn, "items", (0,), {"qty": 100})
+        db.savepoint(txn, "sp")
+        db.update(txn, "items", (1,), {"qty": 200})
+        db.rollback_to(txn, "sp")
+        db.log.flush()
+        db.crash()
+        db.recover()
+        # The whole loser transaction is gone, including the pre-savepoint
+        # part; the partial-rollback CLRs were not compensated twice.
+        assert db.get("items", (0,))[2] == 0
+        assert db.get("items", (1,))[2] == 10
+
+    def test_asof_sees_through_partial_rollback(self, engine, items_db):
+        db = items_db
+        fill_items(db, 3)
+        mark = db.env.clock.now()
+        db.env.clock.advance(5)
+        txn = db.begin()
+        db.update(txn, "items", (0,), {"qty": 50})
+        db.savepoint(txn, "sp")
+        db.update(txn, "items", (0,), {"qty": 60})
+        db.rollback_to(txn, "sp")
+        db.commit(txn)
+        snap = engine.create_asof_snapshot("itemsdb", "past", mark)
+        assert snap.get("items", (0,))[2] == 0
+        assert db.get("items", (0,))[2] == 50
+
+    def test_savepoint_in_sql(self, engine):
+        engine.create_database("spdb")
+        session = engine.session("spdb")
+        session.execute(
+            "CREATE TABLE t (k INT NOT NULL, PRIMARY KEY (k))"
+        )
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        session.execute("SAVEPOINT keepme")
+        session.execute("INSERT INTO t VALUES (2)")
+        session.execute("ROLLBACK TO keepme")
+        session.execute("COMMIT")
+        assert session.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_savepoint_across_splits(self, small_db):
+        db = small_db
+        db.create_table(ITEMS_SCHEMA)
+        fill_items(db, 30)
+        txn = db.begin()
+        db.savepoint(txn, "pre_bulk")
+        for i in range(30, 400):
+            db.insert(txn, "items", (i, f"bulk-{i}", i))
+        db.rollback_to(txn, "pre_bulk")
+        db.commit(txn)
+        assert [r[0] for r in db.scan("items")] == list(range(30))

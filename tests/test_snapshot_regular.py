@@ -1,0 +1,95 @@
+"""Regular (copy-on-write) snapshot tests — the baseline feature."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ITEMS_SCHEMA, fill_items
+
+
+class TestCowSnapshot:
+    def test_sees_creation_state(self, engine, items_db):
+        db = items_db
+        fill_items(db, 10)
+        snap = engine.create_snapshot("itemsdb", "now")
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 111})
+            db.delete(txn, "items", (2,))
+        assert snap.get("items", (1,))[2] == 10
+        assert snap.get("items", (2,)) is not None
+        assert db.get("items", (1,))[2] == 111
+
+    def test_cow_pushes_pre_images(self, engine, items_db):
+        db = items_db
+        fill_items(db, 10)
+        snap = engine.create_snapshot("itemsdb", "cow")
+        assert snap.cow_pushed_pages() == 0
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 111})
+        assert snap.cow_pushed_pages() > 0
+
+    def test_cow_pushes_once_per_page(self, engine, items_db):
+        db = items_db
+        fill_items(db, 10)
+        snap = engine.create_snapshot("itemsdb", "once")
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 1})
+        pushed = snap.cow_pushed_pages()
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 2})
+            db.update(txn, "items", (3,), {"qty": 3})
+        # Same leaf page: no additional pushes.
+        assert snap.cow_pushed_pages() == pushed
+
+    def test_no_undo_needed_on_cow_reads(self, engine, items_db):
+        """COW misses find pages with pageLSN <= split: zero undo work."""
+        db = items_db
+        fill_items(db, 10)
+        snap = engine.create_snapshot("itemsdb", "clean")
+        before = db.env.stats.snapshot()
+        assert sum(1 for _ in snap.scan("items")) == 10
+        assert db.env.stats.delta(before).undo_records_applied == 0
+
+    def test_drop_unregisters_hook(self, engine, items_db):
+        db = items_db
+        fill_items(db, 5)
+        snap = engine.create_snapshot("itemsdb", "temp")
+        engine.drop_snapshot("temp")
+        assert db.modifier.cow_hooks == []
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 9})
+        assert snap.cow_pushed_pages() == 0
+
+    def test_cow_and_asof_agree(self, engine, items_db):
+        """A COW snapshot and an as-of snapshot of the same instant see
+        identical data — proactive vs on-demand, same result."""
+        db = items_db
+        fill_items(db, 20)
+        t0 = db.env.clock.now()
+        cow = engine.create_snapshot("itemsdb", "cow2")
+        db.env.clock.advance(10)
+        with db.transaction() as txn:
+            for i in range(10):
+                db.update(txn, "items", (i,), {"qty": -i})
+        asof = engine.create_asof_snapshot("itemsdb", "asof2", t0)
+        assert list(cow.scan("items")) == list(asof.scan("items"))
+
+    def test_multiple_cow_snapshots(self, engine, items_db):
+        db = items_db
+        fill_items(db, 5)
+        s1 = engine.create_snapshot("itemsdb", "s1")
+        with db.transaction() as txn:
+            db.update(txn, "items", (0,), {"qty": 100})
+        s2 = engine.create_snapshot("itemsdb", "s2")
+        with db.transaction() as txn:
+            db.update(txn, "items", (0,), {"qty": 200})
+        assert s1.get("items", (0,))[2] == 0
+        assert s2.get("items", (0,))[2] == 100
+        assert db.get("items", (0,))[2] == 200
+
+    def test_drop_database_drops_snapshots(self, engine, items_db):
+        fill_items(items_db, 3)
+        engine.create_snapshot("itemsdb", "victim")
+        engine.drop_database("itemsdb")
+        with pytest.raises(Exception):
+            engine.snapshot("victim")

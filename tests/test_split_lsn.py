@@ -1,0 +1,148 @@
+"""SplitLSN search and retention enforcement tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retention import enforce_retention, retention_horizon
+from repro.core.split_lsn import checkpoint_chain, find_split_lsn
+from repro.errors import RetentionExceededError
+from repro.wal.records import CommitRecord
+from tests.conftest import fill_items
+
+
+def committed_marks(db, count, gap_s=10.0, start=0):
+    """Commit one row per step, returning [(wall_time, key)] marks."""
+    marks = []
+    for i in range(start, start + count):
+        db.env.clock.advance(gap_s)
+        with db.transaction() as txn:
+            db.insert(txn, "items", (i, f"t{i}", i))
+        marks.append((db.env.clock.now(), i))
+    return marks
+
+
+class TestSplitSearch:
+    def test_split_is_last_commit_at_or_before(self, items_db):
+        db = items_db
+        marks = committed_marks(db, 5)
+        target = marks[2][0] + 1.0  # between commits 2 and 3
+        split = find_split_lsn(db, target)
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
+        assert rec.wall_clock <= target
+        # Every commit after the split record is after the target.
+        later = [
+            r for r in db.log.scan(split)
+            if isinstance(r, CommitRecord) and r.lsn > split
+        ]
+        assert later
+        assert all(r.wall_clock > target for r in later)
+
+    def test_exact_commit_time_included(self, items_db):
+        db = items_db
+        marks = committed_marks(db, 3)
+        split = find_split_lsn(db, marks[1][0])
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
+        assert rec.wall_clock == pytest.approx(marks[1][0])
+
+    def test_future_target_means_now(self, items_db):
+        db = items_db
+        committed_marks(db, 2)
+        split = find_split_lsn(db, db.env.clock.now() + 100)
+        assert split == db.log.end_lsn - 1
+
+    def test_checkpoint_narrowing_used(self, items_db):
+        db = items_db
+        committed_marks(db, 3)
+        db.checkpoint()
+        committed_marks(db, 3, start=3)
+        db.checkpoint()
+        marks = committed_marks(db, 3, start=6)
+        target = marks[0][0]
+        split = find_split_lsn(db, target)
+        # The found split must be after the latest checkpoint before it.
+        assert split > db.last_checkpoint_lsn or split > 0
+
+    def test_checkpoint_chain_order(self, items_db):
+        db = items_db
+        lsns = [db.checkpoint() for _ in range(3)]
+        chain = [lsn for lsn, _wall, _prev in checkpoint_chain(db)]
+        assert chain[: len(lsns)] == list(reversed(lsns))
+
+    def test_target_before_history_raises(self, items_db):
+        db = items_db
+        db.env.clock.advance(1000)
+        committed_marks(db, 2)
+        db.checkpoint()
+        db.enforce_retention()
+        with pytest.raises(RetentionExceededError):
+            find_split_lsn(db, -500.0)
+
+
+class TestRetention:
+    def test_horizon_tracks_interval(self, items_db):
+        db = items_db
+        db.set_undo_interval(100)
+        db.env.clock.advance(500)
+        assert retention_horizon(db) == pytest.approx(db.env.clock.now() - 100)
+
+    def test_enforcement_truncates_old_log(self, items_db):
+        db = items_db
+        db.set_undo_interval(50)
+        fill_items(db, 20)
+        db.checkpoint()
+        db.env.clock.advance(200)  # history now far outside retention
+        fill_items(db, 20, start=20)
+        db.checkpoint()
+        start_before = db.log.start_lsn
+        enforce_retention(db)
+        assert db.log.start_lsn > start_before
+
+    def test_enforcement_keeps_recent_log(self, items_db):
+        db = items_db
+        db.set_undo_interval(1_000_000)
+        fill_items(db, 20)
+        db.checkpoint()
+        start_before = db.log.start_lsn
+        enforce_retention(db)
+        assert db.log.start_lsn == start_before
+
+    def test_active_txn_pins_log(self, items_db):
+        db = items_db
+        db.set_undo_interval(10)
+        txn = db.begin()
+        db.insert(txn, "items", (1, "held", 1))
+        first = txn.first_lsn
+        db.env.clock.advance(1000)
+        db.checkpoint()
+        db.env.clock.advance(1000)
+        db.checkpoint()
+        enforce_retention(db)
+        assert db.log.start_lsn <= first
+        db.rollback(txn)
+
+    def test_asof_within_retention_succeeds_after_enforcement(self, engine, items_db):
+        db = items_db
+        db.set_undo_interval(300)
+        fill_items(db, 5)
+        db.env.clock.advance(100)
+        mark = db.env.clock.now()
+        db.env.clock.advance(1)  # the oops happens strictly after the mark
+        with db.transaction() as txn:
+            db.update(txn, "items", (1,), {"qty": 777})
+        db.env.clock.advance(100)
+        db.checkpoint()
+        enforce_retention(db)
+        snap = engine.create_asof_snapshot("itemsdb", "ok", mark)
+        assert snap.get("items", (1,))[2] == 10
+
+    def test_asof_outside_retention_rejected(self, engine, items_db):
+        db = items_db
+        db.set_undo_interval(50)
+        fill_items(db, 5)
+        mark = db.env.clock.now()
+        db.env.clock.advance(500)
+        with pytest.raises(RetentionExceededError):
+            engine.create_asof_snapshot("itemsdb", "tooold", mark)

@@ -1,0 +1,200 @@
+"""TPC-C workload tests: loading, transactions, invariants, as-of runs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CostModel, DatabaseConfig, Engine, SimEnv
+from repro.sim.device import SLC_SSD
+from repro.workload import (
+    TpccDriver,
+    TpccScale,
+    add_filler_table,
+    load_tpcc,
+    new_order,
+    payment,
+    stock_level,
+)
+
+SCALE = TpccScale(
+    warehouses=2,
+    districts_per_warehouse=2,
+    customers_per_district=10,
+    items=50,
+)
+
+
+@pytest.fixture
+def tpcc_db(engine):
+    db = engine.create_database("tpcc")
+    load_tpcc(db, SCALE)
+    return db
+
+
+class TestLoader:
+    def test_row_counts(self, tpcc_db):
+        db = tpcc_db
+        assert db.table("warehouse").count() == 2
+        assert db.table("district").count() == 4
+        assert db.table("customer").count() == 40
+        assert db.table("item").count() == 50
+        assert db.table("stock").count() == 100
+        assert db.table("orders").count() == 0
+
+    def test_district_next_o_id_starts_at_one(self, tpcc_db):
+        for row in tpcc_db.scan("district"):
+            assert row[3] == 1
+
+    def test_filler_table_inflates_db(self, engine):
+        db = engine.create_database("fat")
+        pages_before = db.file_manager.page_count
+        add_filler_table(db, pages=30)
+        assert db.file_manager.page_count >= pages_before + 30
+
+
+class TestTransactions:
+    def test_new_order_effects(self, tpcc_db):
+        db = tpcc_db
+        rng = random.Random(3)
+        scale = SCALE
+        committed = new_order(db, rng, scale, w_id=1)
+        assert committed
+        orders = list(db.scan("orders"))
+        assert len(orders) == 1
+        w_id, d_id, o_id = orders[0][0], orders[0][1], orders[0][2]
+        assert db.get("district", (w_id, d_id))[3] == o_id + 1
+        lines = list(db.scan("order_line"))
+        assert len(lines) == orders[0][5]
+        assert db.get("new_order", (w_id, d_id, o_id)) is not None
+
+    def test_new_order_abort_leaves_no_trace(self, tpcc_db):
+        db = tpcc_db
+        scale = TpccScale(
+            warehouses=2,
+            districts_per_warehouse=2,
+            customers_per_district=10,
+            items=50,
+            abort_rate=1.0,  # always abort
+        )
+        committed = new_order(db, random.Random(1), scale)
+        assert not committed
+        assert db.table("orders").count() == 0
+        assert db.table("order_line").count() == 0
+        for row in db.scan("district"):
+            assert row[3] == 1  # d_next_o_id rolled back
+
+    def test_payment_updates_balances(self, tpcc_db):
+        db = tpcc_db
+        payment(db, random.Random(5), SCALE, seq=1)
+        histories = list(db.scan("history"))
+        assert len(histories) == 1
+        amount = histories[0][4]
+        w_id = histories[0][1]
+        assert db.get("warehouse", (w_id,))[2] == pytest.approx(amount)
+
+    def test_stock_level_counts(self, tpcc_db):
+        db = tpcc_db
+        rng = random.Random(7)
+        for _ in range(5):
+            new_order(db, rng, SCALE, w_id=1)
+        count_all = stock_level(db, 1, 1, threshold=10**9)
+        count_none = stock_level(db, 1, 1, threshold=-1)
+        assert count_none == 0
+        assert count_all >= 0
+
+    def test_money_conservation_invariant(self, tpcc_db):
+        """Sum of history amounts equals sum of warehouse ytd."""
+        db = tpcc_db
+        rng = random.Random(11)
+        for seq in range(20):
+            payment(db, rng, SCALE, seq=seq)
+        history_total = sum(h[4] for h in db.scan("history"))
+        ytd_total = sum(w[2] for w in db.scan("warehouse"))
+        assert history_total == pytest.approx(ytd_total)
+
+
+class TestDriver:
+    def test_mix_run(self, tpcc_db):
+        driver = TpccDriver(tpcc_db, SCALE, seed=5)
+        result = driver.run_transactions(60)
+        assert result.transactions == 60
+        assert result.committed + result.rolled_back == 60
+        assert set(result.by_type) <= {
+            "new_order",
+            "payment",
+            "order_status",
+            "delivery",
+            "stock_level",
+        }
+
+    def test_deterministic_given_seed(self, engine):
+        outcomes = []
+        for name in ("a", "b"):
+            db = engine.create_database(name)
+            load_tpcc(db, SCALE)
+            driver = TpccDriver(db, SCALE, seed=99)
+            result = driver.run_transactions(40)
+            outcomes.append(
+                (result.committed, tuple(sorted(result.by_type.items())))
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_run_for_advances_simulated_time(self):
+        env = SimEnv(
+            data_profile=SLC_SSD,
+            log_profile=SLC_SSD,
+            cost=CostModel(),
+        )
+        engine = Engine(env)
+        db = engine.create_database("timed", DatabaseConfig())
+        load_tpcc(db, SCALE)
+        driver = TpccDriver(db, SCALE, seed=2)
+        result = driver.run_for(sim_seconds=2.0)
+        assert result.sim_seconds >= 2.0
+        assert result.tpm > 0
+
+    def test_checkpoints_fire_on_cadence(self):
+        env = SimEnv(cost=CostModel())
+        engine = Engine(env)
+        db = engine.create_database("ckpt", DatabaseConfig(checkpoint_interval_s=0.5))
+        load_tpcc(db, SCALE)
+        driver = TpccDriver(db, SCALE, seed=2, think_time_s=0.05)
+        result = driver.run_transactions(50)
+        assert result.checkpoints >= 2
+
+    def test_zero_cost_run_for_raises(self, tpcc_db):
+        driver = TpccDriver(tpcc_db, SCALE, seed=1)
+        with pytest.raises(RuntimeError):
+            driver.run_for(1.0)
+
+
+class TestTpccTimeTravel:
+    def test_stock_level_as_of_past(self, engine, tpcc_db):
+        """The paper's core experiment in miniature: the same stock-level
+        query against the live database and an as-of snapshot."""
+        db = tpcc_db
+        driver = TpccDriver(db, SCALE, seed=13, think_time_s=0.01)
+        driver.run_transactions(30)
+        past = db.env.clock.now()
+        level_then = stock_level(db, 1, 1, threshold=60)
+        db.env.clock.advance(1)
+        driver.run_transactions(60)
+        snap = engine.create_asof_snapshot("tpcc", "past", past)
+        assert stock_level(snap, 1, 1, threshold=60) == level_then
+
+    def test_full_tables_as_of_match(self, engine, tpcc_db):
+        db = tpcc_db
+        driver = TpccDriver(db, SCALE, seed=21, think_time_s=0.01)
+        driver.run_transactions(25)
+        expected = {
+            name: list(db.scan(name))
+            for name in ("district", "stock", "orders", "history")
+        }
+        past = db.env.clock.now()
+        db.env.clock.advance(1)
+        driver.run_transactions(50)
+        snap = engine.create_asof_snapshot("tpcc", "verify", past)
+        for name, rows in expected.items():
+            assert list(snap.scan(name)) == rows, name

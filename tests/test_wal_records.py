@@ -1,0 +1,436 @@
+"""Log record serialization round-trips and redo/undo semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogRecordDecodeError, MissingUndoInfoError, WalError
+from repro.storage.page import Page, PageType
+from repro.wal.records import (
+    FLAG_HEAP,
+    FLAG_SMO,
+    AbortRecord,
+    AllocPageRecord,
+    BeginRecord,
+    CheckpointBeginRecord,
+    CheckpointEndRecord,
+    ClrRecord,
+    CommitRecord,
+    DeallocPageRecord,
+    DeformatPageRecord,
+    DeleteRowRecord,
+    FormatPageRecord,
+    InsertRowRecord,
+    PageImageRecord,
+    PreformatPageRecord,
+    SetLinksRecord,
+    UpdateRowRecord,
+    decode_record,
+)
+
+PAGE_SIZE = 1024
+
+
+def roundtrip(rec):
+    blob = rec.serialize()
+    decoded, end = decode_record(blob, 0, lsn=77)
+    assert end == len(blob)
+    assert decoded.lsn == 77
+    assert type(decoded) is type(rec)
+    assert decoded.txn_id == rec.txn_id
+    assert decoded.prev_txn_lsn == rec.prev_txn_lsn
+    assert decoded.page_id == rec.page_id
+    assert decoded.prev_page_lsn == rec.prev_page_lsn
+    assert decoded.object_id == rec.object_id
+    assert decoded.flags == rec.flags
+    return decoded
+
+
+def tree_page(page_id: int = 5) -> Page:
+    page = Page(bytearray(PAGE_SIZE))
+    page.format(page_id, PageType.BTREE, object_id=10)
+    return page
+
+
+class TestSerialization:
+    def test_begin(self):
+        roundtrip(BeginRecord(txn_id=4))
+
+    def test_commit_wall_clock(self):
+        rec = roundtrip(CommitRecord(wall_clock=123.456, txn_id=4, prev_txn_lsn=99))
+        assert rec.wall_clock == pytest.approx(123.456)
+
+    def test_abort(self):
+        roundtrip(AbortRecord(txn_id=9, prev_txn_lsn=1))
+
+    def test_checkpoint_begin(self):
+        rec = roundtrip(
+            CheckpointBeginRecord(
+                wall_clock=5.5,
+                prev_checkpoint_lsn=42,
+                active_txns=((3, 100), (7, 200)),
+            )
+        )
+        assert rec.wall_clock == 5.5
+        assert rec.prev_checkpoint_lsn == 42
+        assert rec.active_txns == ((3, 100), (7, 200))
+
+    def test_checkpoint_end(self):
+        assert roundtrip(CheckpointEndRecord(begin_lsn=42)).begin_lsn == 42
+
+    def test_format(self):
+        rec = roundtrip(
+            FormatPageRecord(
+                page_type=int(PageType.BTREE),
+                index_id=2,
+                level=3,
+                prev_page=7,
+                next_page=8,
+                page_id=5,
+                object_id=10,
+            )
+        )
+        assert rec.level == 3
+        assert rec.prev_page == 7
+
+    def test_preformat_image(self):
+        image = bytes(range(256)) * 4
+        rec = roundtrip(PreformatPageRecord(image=image, page_id=5, prev_page_lsn=33))
+        assert rec.image == image
+
+    def test_page_image(self):
+        rec = roundtrip(
+            PageImageRecord(image=b"\x01" * PAGE_SIZE, prev_image_lsn=12, page_id=5)
+        )
+        assert rec.prev_image_lsn == 12
+
+    def test_insert(self):
+        rec = roundtrip(
+            InsertRowRecord(slot=3, row=b"row", key_bytes=b"key", page_id=5, txn_id=2)
+        )
+        assert (rec.slot, rec.row, rec.key_bytes) == (3, b"row", b"key")
+
+    def test_delete_with_row(self):
+        rec = roundtrip(
+            DeleteRowRecord(slot=1, row=b"gone", key_bytes=b"k", pair_lsn=9, page_id=5)
+        )
+        assert rec.row == b"gone"
+        assert rec.pair_lsn == 9
+
+    def test_delete_without_row(self):
+        rec = roundtrip(DeleteRowRecord(slot=1, row=None, pair_lsn=11, page_id=5, flags=FLAG_SMO))
+        assert rec.row is None
+        assert rec.is_smo
+
+    def test_update(self):
+        rec = roundtrip(
+            UpdateRowRecord(slot=2, old=b"before", new=b"after", key_bytes=b"k", page_id=5)
+        )
+        assert (rec.old, rec.new) == (b"before", b"after")
+
+    def test_update_without_old(self):
+        assert roundtrip(UpdateRowRecord(slot=2, old=None, new=b"x", page_id=5)).old is None
+
+    def test_set_links(self):
+        rec = roundtrip(
+            SetLinksRecord(old_prev=1, old_next=2, new_prev=3, new_next=4, page_id=5)
+        )
+        assert (rec.old_prev, rec.old_next, rec.new_prev, rec.new_next) == (1, 2, 3, 4)
+
+    def test_alloc(self):
+        rec = roundtrip(AllocPageRecord(target_page=9, was_ever_allocated=True, page_id=1))
+        assert rec.target_page == 9
+        assert rec.was_ever_allocated
+
+    def test_dealloc(self):
+        rec = roundtrip(DeallocPageRecord(target_page=9, clear_ever=True, page_id=1))
+        assert rec.clear_ever
+
+    def test_deformat(self):
+        rec = roundtrip(DeformatPageRecord(page_type=4, index_id=1, level=2, page_id=5))
+        assert rec.level == 2
+
+    def test_clr_nested(self):
+        comp = DeleteRowRecord(slot=4, row=b"undo-me", page_id=5)
+        rec = roundtrip(
+            ClrRecord(compensated_lsn=10, undo_next_lsn=6, comp=comp, page_id=5, txn_id=3)
+        )
+        assert rec.compensated_lsn == 10
+        assert rec.undo_next_lsn == 6
+        assert isinstance(rec.comp, DeleteRowRecord)
+        assert rec.comp.row == b"undo-me"
+
+    def test_clr_requires_comp(self):
+        with pytest.raises(WalError):
+            ClrRecord(compensated_lsn=1, undo_next_lsn=0, comp=None)
+
+    def test_flags_roundtrip(self):
+        rec = roundtrip(InsertRowRecord(slot=0, row=b"r", page_id=5, flags=FLAG_SMO | FLAG_HEAP))
+        assert rec.is_smo and rec.is_heap
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(LogRecordDecodeError):
+            decode_record(b"\x01\x02", 0)
+
+    def test_truncated_body(self):
+        blob = InsertRowRecord(slot=0, row=b"abcdef", page_id=1).serialize()
+        with pytest.raises(LogRecordDecodeError):
+            decode_record(blob[:-2], 0)
+
+    def test_crc_mismatch(self):
+        blob = bytearray(InsertRowRecord(slot=0, row=b"abcdef", page_id=1).serialize())
+        blob[-1] ^= 0xFF
+        with pytest.raises(LogRecordDecodeError):
+            decode_record(blob, 0)
+
+
+class TestRedoUndo:
+    def test_insert_redo_undo(self):
+        page = tree_page()
+        rec = InsertRowRecord(slot=0, row=b"hello", page_id=5)
+        rec.redo(page)
+        assert page.record(0) == b"hello"
+        rec.physical_undo(page)
+        assert page.slot_count == 0
+
+    def test_delete_redo_undo(self):
+        page = tree_page()
+        page.insert_record(0, b"bye")
+        rec = DeleteRowRecord(slot=0, row=b"bye", page_id=5)
+        rec.redo(page)
+        assert page.slot_count == 0
+        rec.physical_undo(page)
+        assert page.record(0) == b"bye"
+
+    def test_delete_undo_derives_from_pair(self):
+        page = tree_page()
+        insert = InsertRowRecord(slot=0, row=b"moved", page_id=6)
+        insert.lsn = 500
+        store = {500: insert}
+        page.insert_record(0, b"moved")
+        rec = DeleteRowRecord(slot=0, row=None, pair_lsn=500, page_id=5, flags=FLAG_SMO)
+        rec.redo(page)
+        rec.physical_undo(page, fetch=store.__getitem__)
+        assert page.record(0) == b"moved"
+
+    def test_delete_undo_without_info_raises(self):
+        page = tree_page()
+        rec = DeleteRowRecord(slot=0, row=None, page_id=5)
+        with pytest.raises(MissingUndoInfoError):
+            rec.physical_undo(page)
+
+    def test_update_redo_undo(self):
+        page = tree_page()
+        page.insert_record(0, b"old")
+        rec = UpdateRowRecord(slot=0, old=b"old", new=b"new!", page_id=5)
+        rec.redo(page)
+        assert page.record(0) == b"new!"
+        rec.physical_undo(page)
+        assert page.record(0) == b"old"
+
+    def test_update_undo_without_old_raises(self):
+        page = tree_page()
+        page.insert_record(0, b"x")
+        rec = UpdateRowRecord(slot=0, old=None, new=b"x", page_id=5)
+        with pytest.raises(MissingUndoInfoError):
+            rec.physical_undo(page)
+
+    def test_format_redo_undo(self):
+        page = Page(bytearray(PAGE_SIZE))
+        rec = FormatPageRecord(
+            page_type=int(PageType.BTREE), level=1, page_id=5, object_id=10
+        )
+        rec.redo(page)
+        assert page.is_formatted() and page.level == 1
+        rec.physical_undo(page)
+        assert not page.is_formatted()
+
+    def test_preformat_undo_restores_image(self):
+        old = tree_page()
+        old.insert_record(0, b"ancient")
+        image = old.clone_bytes()
+        page = tree_page()
+        page.format(5, PageType.HEAP)
+        rec = PreformatPageRecord(image=image, page_id=5)
+        rec.redo(page)  # no-op
+        assert page.page_type is PageType.HEAP
+        rec.physical_undo(page)
+        assert page.page_type is PageType.BTREE
+        assert page.record(0) == b"ancient"
+
+    def test_page_image_redo(self):
+        page = tree_page()
+        page.insert_record(0, b"state")
+        image = page.clone_bytes()
+        page.delete_record(0)
+        rec = PageImageRecord(image=image, page_id=5)
+        rec.redo(page)
+        assert page.record(0) == b"state"
+        rec.physical_undo(page)  # no-op
+        assert page.record(0) == b"state"
+
+    def test_set_links_redo_undo(self):
+        page = tree_page()
+        rec = SetLinksRecord(old_prev=0, old_next=0, new_prev=8, new_next=9, page_id=5)
+        rec.redo(page)
+        assert (page.prev_page, page.next_page) == (8, 9)
+        rec.physical_undo(page)
+        assert (page.prev_page, page.next_page) == (0, 0)
+
+    def test_alloc_redo_undo_first_time(self):
+        page = Page(bytearray(PAGE_SIZE))
+        page.format(1, PageType.ALLOC_MAP)
+        rec = AllocPageRecord(target_page=4, was_ever_allocated=False, page_id=1)
+        rec.redo(page)
+        assert page.get_body_bit(2)  # local index = 4 - (1+1)
+        rec.physical_undo(page)
+        assert not page.get_body_bit(2)
+
+    def test_alloc_undo_preserves_prior_ever_bit(self):
+        from repro.storage.page import ever_bit_offset
+
+        page = Page(bytearray(PAGE_SIZE))
+        page.format(1, PageType.ALLOC_MAP)
+        ever = ever_bit_offset(PAGE_SIZE)
+        page.set_body_bit(ever + 2, True)  # was ever allocated before
+        rec = AllocPageRecord(target_page=4, was_ever_allocated=True, page_id=1)
+        rec.redo(page)
+        rec.physical_undo(page)
+        assert page.get_body_bit(ever + 2)
+
+    def test_dealloc_redo_keeps_ever_bit(self):
+        from repro.storage.page import ever_bit_offset
+
+        page = Page(bytearray(PAGE_SIZE))
+        page.format(1, PageType.ALLOC_MAP)
+        AllocPageRecord(target_page=4, page_id=1).redo(page)
+        rec = DeallocPageRecord(target_page=4, page_id=1)
+        rec.redo(page)
+        assert not page.get_body_bit(2)
+        assert page.get_body_bit(ever_bit_offset(PAGE_SIZE) + 2)
+        rec.physical_undo(page)
+        assert page.get_body_bit(2)
+
+    def test_alloc_out_of_map_range_rejected(self):
+        page = Page(bytearray(PAGE_SIZE))
+        page.format(1, PageType.ALLOC_MAP)
+        with pytest.raises(WalError):
+            AllocPageRecord(target_page=1, page_id=1).redo(page)
+
+
+class TestClrSemantics:
+    def test_clr_redo_applies_comp(self):
+        page = tree_page()
+        page.insert_record(0, b"victim")
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=DeleteRowRecord(slot=0, row=b"victim", page_id=5),
+            page_id=5,
+        )
+        clr.redo(page)
+        assert page.slot_count == 0
+
+    def test_clr_for_insert_undo_with_info(self):
+        page = tree_page()
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=DeleteRowRecord(slot=0, row=b"victim", page_id=5),
+            page_id=5,
+        )
+        clr.physical_undo(page)
+        assert page.record(0) == b"victim"
+
+    def test_clr_for_insert_undo_derives(self):
+        page = tree_page()
+        original = InsertRowRecord(slot=0, row=b"victim", page_id=5)
+        original.lsn = 10
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=DeleteRowRecord(slot=0, row=None, page_id=5),
+            page_id=5,
+        )
+        clr.physical_undo(page, fetch={10: original}.__getitem__)
+        assert page.record(0) == b"victim"
+
+    def test_clr_for_insert_undo_without_fetch_raises(self):
+        page = tree_page()
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=DeleteRowRecord(slot=0, row=None, page_id=5),
+            page_id=5,
+        )
+        with pytest.raises(MissingUndoInfoError):
+            clr.physical_undo(page)
+
+    def test_clr_for_delete_undo(self):
+        page = tree_page()
+        page.insert_record(0, b"back")
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=InsertRowRecord(slot=0, row=b"back", page_id=5),
+            page_id=5,
+        )
+        clr.physical_undo(page)
+        assert page.slot_count == 0
+
+    def test_clr_for_update_undo_derives_from_update(self):
+        page = tree_page()
+        page.insert_record(0, b"older")
+        original = UpdateRowRecord(slot=0, old=b"older", new=b"newer", page_id=5)
+        original.lsn = 10
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=UpdateRowRecord(slot=0, old=None, new=b"older", page_id=5),
+            page_id=5,
+        )
+        clr.physical_undo(page, fetch={10: original}.__getitem__)
+        assert page.record(0) == b"newer"
+
+    def test_clr_for_heap_tombstone_derives_from_insert(self):
+        page = tree_page()
+        page.insert_record(0, b"")
+        original = InsertRowRecord(slot=0, row=b"heaprow", page_id=5, flags=FLAG_HEAP)
+        original.lsn = 10
+        clr = ClrRecord(
+            compensated_lsn=10,
+            undo_next_lsn=0,
+            comp=UpdateRowRecord(slot=0, old=None, new=b"", page_id=5),
+            page_id=5,
+        )
+        clr.physical_undo(page, fetch={10: original}.__getitem__)
+        assert page.record(0) == b"heaprow"
+
+
+# ---------------------------------------------------------------------------
+# Property: every DML record type round-trips through bytes.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    slot=st.integers(min_value=0, max_value=65535),
+    row=st.binary(max_size=100),
+    key=st.binary(max_size=40),
+    txn=st.integers(min_value=0, max_value=2**63),
+    prev=st.integers(min_value=0, max_value=2**63),
+)
+def test_insert_record_roundtrip_property(slot, row, key, txn, prev):
+    rec = InsertRowRecord(
+        slot=slot, row=row, key_bytes=key, txn_id=txn,
+        prev_txn_lsn=prev, page_id=123, prev_page_lsn=prev // 2, object_id=9,
+    )
+    decoded, _ = decode_record(rec.serialize(), 0)
+    assert decoded.slot == slot
+    assert decoded.row == row
+    assert decoded.key_bytes == key
+    assert decoded.txn_id == txn
