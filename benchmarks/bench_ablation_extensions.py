@@ -8,8 +8,6 @@ copy-on-write snapshots versus on-demand as-of logging.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import ReportTable, save_results
 from repro.bench.harness import make_perf_env
 from repro.config import DatabaseConfig

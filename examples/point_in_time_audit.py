@@ -10,6 +10,13 @@ machinery: every answer comes from the same transaction log the engine
 keeps anyway. This example runs a TPC-C burst, then audits one customer's
 balance and one district's order volume at several past instants — and
 cross-checks the totals against the (heap-stored) payment history.
+
+Each audit instant is read through ``engine.query_as_of``: an ephemeral
+snapshot leased from the engine's pool, created on first touch and shared
+by every later query at the same instant — no snapshot DDL, naming, or
+cleanup. The same point is also queried inline in SQL
+(``SELECT ... FROM tpcc.customer AS OF <t>``) to show both surfaces hit
+the same pooled snapshot.
 """
 
 from repro import Engine
@@ -35,23 +42,41 @@ def main() -> None:
         driver.run_transactions(120)
         clock.advance(30)
         instants.append(clock.now())
+    # Audit strictly past instants: "as of now" is a moving target (every
+    # commit — including the ones snapshot creation itself logs — moves
+    # it), so resolving the same past time twice shares a pool entry.
+    clock.advance(5)
 
     print("live balance:", db.get("customer", customer_key)[4])
-    print("\naudit trail (as-of snapshots):")
+    print("\naudit trail (pooled inline as-of reads):")
     print(f"{'instant':>10} {'balance':>12} {'orders(d=1)':>12} {'payments':>9}")
-    for index, when in enumerate(instants):
-        snap = engine.create_asof_snapshot("tpcc", f"audit{index}", when)
-        balance = snap.get("customer", customer_key)[4]
-        orders = sum(1 for _ in snap.scan("orders", (1, 1, 0), (1, 1, 2**31)))
-        payments = sum(1 for _ in snap.scan("history"))
-        print(f"{when:>10.0f} {balance:>12.2f} {orders:>12} {payments:>9}")
-        # Cross-check: ytd across warehouses equals the history heap total,
-        # *as of the same instant* — consistency spans B-trees and heaps.
-        ytd = sum(w[2] for w in snap.scan("warehouse"))
-        hist = sum(h[4] for h in snap.scan("history"))
-        assert abs(ytd - hist) < 1e-6, "audit mismatch!"
-        engine.drop_snapshot(f"audit{index}")
+    for when in instants:
+        with engine.query_as_of("tpcc", when) as snap:
+            balance = snap.get("customer", customer_key)[4]
+            orders = sum(1 for _ in snap.scan("orders", (1, 1, 0), (1, 1, 2**31)))
+            payments = sum(1 for _ in snap.scan("history"))
+            print(f"{when:>10.0f} {balance:>12.2f} {orders:>12} {payments:>9}")
+            # Cross-check: ytd across warehouses equals the history heap
+            # total, *as of the same instant* — consistency spans B-trees
+            # and heaps.
+            ytd = sum(w[2] for w in snap.scan("warehouse"))
+            hist = sum(h[4] for h in snap.scan("history"))
+            assert abs(ytd - hist) < 1e-6, "audit mismatch!"
     print("\nevery instant's warehouse YTD matched its payment history ✔")
+
+    # The same instants again, now in inline SQL — each query reuses the
+    # pooled snapshot the audit loop above already populated.
+    misses_before = engine.snapshot_pool.stats.misses
+    for when in instants:
+        balance = engine.sql(
+            f"SELECT c_balance FROM tpcc.customer AS OF {when} "
+            f"WHERE w_id = 1 AND d_id = 1 AND c_id = 1"
+        ).scalar()
+        print(f"SQL AS OF {when:.0f}: balance {balance:.2f}")
+    assert engine.snapshot_pool.stats.misses == misses_before, (
+        "inline SQL reads must reuse the pooled audit snapshots"
+    )
+    print(f"\nsnapshot pool after the audit: {engine.snapshot_pool!r}")
 
 
 if __name__ == "__main__":

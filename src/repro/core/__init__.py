@@ -6,6 +6,11 @@
   to SplitLSN translation.
 * :class:`~repro.core.asof.AsOfSnapshot` — section 5's as-of database
   snapshots (creation, recovery, lazy page access).
+* :class:`~repro.core.snapshot_pool.SnapshotPool` — pooled ephemeral
+  snapshots backing inline ``SELECT ... AS OF`` queries and
+  ``engine.query_as_of``: snapshots keyed by ``(database, split_lsn)``
+  are reused across queries and sessions (refcounted) and evicted LRU
+  under a side-file byte budget.
 * :mod:`~repro.core.retention` — section 4.3's retention period.
 * :mod:`~repro.core.recovery_tools` — the user-facing error-recovery
   workflows the paper's introduction walks through.
@@ -14,6 +19,7 @@
 from repro.core.page_undo import prepare_page_as_of
 from repro.core.split_lsn import find_split_lsn, checkpoint_chain
 from repro.core.asof import AsOfSnapshot
+from repro.core.snapshot_pool import PoolStats, SnapshotPool
 from repro.core.retention import enforce_retention, retention_horizon
 from repro.core.recovery_tools import (
     diff_table,
@@ -28,6 +34,8 @@ __all__ = [
     "find_split_lsn",
     "checkpoint_chain",
     "AsOfSnapshot",
+    "SnapshotPool",
+    "PoolStats",
     "enforce_retention",
     "retention_horizon",
     "find_when_table_existed",

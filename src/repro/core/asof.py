@@ -27,12 +27,18 @@ from __future__ import annotations
 
 from repro.access.btree import BTree, BTreeServices
 from repro.access.heap import Heap
-from repro.catalog.catalog import Catalog, ObjectInfo
+from repro.catalog.catalog import (
+    SYS_COLUMNS_ID,
+    SYS_OBJECTS_ID,
+    Catalog,
+    ObjectInfo,
+)
 from repro.core.page_undo import prepare_page_as_of
 from repro.core.split_lsn import checkpoint_chain, find_split_lsn
 from repro.engine.recovery import analyze_log
 from repro.errors import (
     CatalogError,
+    LogTruncatedError,
     RetentionExceededError,
     SnapshotError,
 )
@@ -189,31 +195,58 @@ class AsOfSnapshot:
     # ------------------------------------------------------------------
 
     @classmethod
-    def create(cls, db, name: str, as_of_wall: float) -> "AsOfSnapshot":
-        """Create an as-of snapshot of ``db`` at simulated time
-        ``as_of_wall``."""
+    def resolve_split(cls, db, as_of_wall: float) -> int:
+        """Translate a wall-clock as-of time to a SplitLSN, enforcing the
+        retention window (section 4.3) first."""
         now = db.env.clock.now()
         if as_of_wall < now - db.undo_interval_s:
             raise RetentionExceededError(
                 f"as-of time {as_of_wall:.3f}s is outside the retention "
                 f"window of {db.undo_interval_s:.0f}s"
             )
-        split = find_split_lsn(db, as_of_wall)
-        # Make every page with LSN <= split durable in the primary files.
-        db.checkpoint()
-        # Analysis from the checkpoint preceding the split, bounded at the
-        # split: yields the transactions in flight at that point plus the
-        # row locks the redo pass re-acquires (no page reads happen).
-        base = NULL_LSN
-        for lsn, _wall, _prev in checkpoint_chain(db):
-            if lsn <= split:
-                base = lsn
-                break
-        if base == NULL_LSN:
-            base = db.log.start_lsn
-        analysis = analyze_log(db.log, base, split + 1)
-        snap = cls(db, name, split, analysis=analysis)
-        snap._collect_missing_locks()
+        return find_split_lsn(db, as_of_wall)
+
+    @classmethod
+    def create(cls, db, name: str, as_of_wall: float) -> "AsOfSnapshot":
+        """Create an as-of snapshot of ``db`` at simulated time
+        ``as_of_wall``."""
+        split = cls.resolve_split(db, as_of_wall)
+        return cls.create_at_split(db, name, split)
+
+    @classmethod
+    def create_at_split(cls, db, name: str, split: int) -> "AsOfSnapshot":
+        """Create an as-of snapshot at an already-resolved SplitLSN.
+
+        The wall-clock retention check can pass while the checkpoint chain
+        or the analysis window still crosses the retention horizon (e.g.
+        the log was truncated more aggressively than the undo interval
+        implies, or an in-flight transaction's chain reaches below the
+        horizon) — surface that as :class:`RetentionExceededError` rather
+        than leaking the storage-level :class:`LogTruncatedError`.
+        """
+        try:
+            # Make every page with LSN <= split durable in the primary files.
+            db.checkpoint()
+            # Analysis from the checkpoint preceding the split, bounded at
+            # the split: yields the transactions in flight at that point
+            # plus the row locks the redo pass re-acquires (no page reads
+            # happen).
+            base = NULL_LSN
+            for lsn, _wall, _prev in checkpoint_chain(db):
+                if lsn <= split:
+                    base = lsn
+                    break
+            if base == NULL_LSN:
+                base = db.log.start_lsn
+            analysis = analyze_log(db.log, base, split + 1)
+            snap = cls(db, name, split, analysis=analysis)
+            snap._collect_missing_locks()
+        except LogTruncatedError as err:
+            raise RetentionExceededError(
+                f"snapshot at split {split:#x} needs log below the "
+                f"retention horizon (truncated at "
+                f"{db.log.start_lsn:#x}): {err}"
+            ) from err
         return snap
 
     def _collect_missing_locks(self) -> None:
@@ -329,8 +362,6 @@ class AsOfSnapshot:
     # ------------------------------------------------------------------
 
     def tree_for_object(self, object_id: int) -> BTree | None:
-        from repro.catalog.catalog import SYS_COLUMNS_ID, SYS_OBJECTS_ID
-
         if object_id == SYS_OBJECTS_ID:
             return self.catalog.sys_objects
         if object_id == SYS_COLUMNS_ID:
@@ -364,8 +395,9 @@ class AsOfSnapshot:
         cached = self._table_cache.get(name)
         if cached is not None:
             return cached
-        self.ensure_readable(1)  # catalog reads respect pending DDL undo
-        self.ensure_readable(2)
+        # Catalog reads respect pending DDL undo.
+        self.ensure_readable(SYS_OBJECTS_ID)
+        self.ensure_readable(SYS_COLUMNS_ID)
         info = self.catalog.require(name)
         schema = self.catalog.load_schema(info)
         handle = SnapshotTable(self, info, schema)
@@ -374,12 +406,12 @@ class AsOfSnapshot:
 
     def table_exists(self, name: str) -> bool:
         self._check_alive()
-        self.ensure_readable(1)
+        self.ensure_readable(SYS_OBJECTS_ID)
         return self.catalog.get_by_name(name) is not None
 
     def tables(self) -> list[str]:
         self._check_alive()
-        self.ensure_readable(1)
+        self.ensure_readable(SYS_OBJECTS_ID)
         return [obj.name for obj in self.catalog.list_objects()]
 
     def get(self, table: str, key: tuple, txn=None):

@@ -1,0 +1,266 @@
+"""Pooled ephemeral as-of snapshots: point-in-time query as a primitive.
+
+The paper exposes point-in-time reads through named-snapshot DDL the user
+creates, ``USE``\\ s and drops by hand. That ceremony makes time travel an
+operator action; production systems want it to be a routinely exercised
+read-path primitive (compare the fast-recovery line of work: the win
+comes from making the recovery path cheap and ordinary). The
+:class:`SnapshotPool` makes any ``AS OF`` read self-service:
+
+* **Resolution** — the requested wall-clock time is translated to a
+  SplitLSN first, so two queries phrased differently but landing on the
+  same commit boundary share one snapshot.
+* **Reuse** — entries are keyed ``(database, split_lsn)``; an acquire that
+  hits skips snapshot creation entirely (no checkpoint, no analysis scan,
+  no new side file) and benefits from every page the earlier queries
+  already prepared.
+* **Refcounting** — concurrent sessions lease the same entry; an entry is
+  only evictable once every lease is released.
+* **Eviction** — the pool tracks total sparse side-file bytes across its
+  entries and drops least-recently-used idle entries once the configured
+  byte budget is exceeded.
+
+The pool is owned by the :class:`~repro.engine.engine.Engine`; users reach
+it through ``engine.query_as_of(db, t)`` or inline SQL
+(``SELECT ... FROM t AS OF '...'``). Named-snapshot DDL still works and
+bypasses the pool — those snapshots have user-controlled lifetimes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.asof import AsOfSnapshot
+from repro.errors import SnapshotError
+
+#: Default side-file byte budget across all pooled snapshots (64 MiB).
+DEFAULT_POOL_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class PoolStats:
+    """Observable pool behavior (asserted on by tests and benchmarks)."""
+
+    #: Acquires served by an existing pooled snapshot.
+    hits: int = 0
+    #: Acquires that had to create a new snapshot (== snapshots created).
+    misses: int = 0
+    #: Idle entries dropped to get back under the byte budget.
+    evictions: int = 0
+    #: Leases returned (every acquire is eventually released).
+    releases: int = 0
+    #: High-water mark of total pooled side-file bytes.
+    peak_bytes: int = 0
+
+    @property
+    def snapshots_created(self) -> int:
+        return self.misses
+
+
+class _PoolEntry:
+    """One pooled snapshot plus its lease bookkeeping."""
+
+    __slots__ = ("snapshot", "refcount", "last_used")
+
+    def __init__(self, snapshot: AsOfSnapshot) -> None:
+        self.snapshot = snapshot
+        self.refcount = 0
+        #: Monotonic acquire stamp for LRU ordering.
+        self.last_used = 0
+
+
+class SnapshotPool:
+    """Refcounted LRU pool of ephemeral :class:`AsOfSnapshot` instances.
+
+    Keyed by ``(database name, split_lsn)``: all wall-clock times that
+    resolve to the same SplitLSN share one snapshot, one sparse side file
+    and one set of already-prepared pages.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_POOL_BUDGET_BYTES) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("snapshot pool budget must be positive")
+        self.budget_bytes = budget_bytes
+        self.stats = PoolStats()
+        self._entries: dict[tuple[str, int], _PoolEntry] = {}
+        #: Entries force-dropped (purge/clear) while still leased, kept by
+        #: snapshot identity so the outstanding releases stay balanced.
+        self._orphans: dict[int, _PoolEntry] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+
+    def acquire(self, db, as_of_wall: float) -> AsOfSnapshot:
+        """Lease a snapshot of ``db`` as of ``as_of_wall``.
+
+        Resolves the time to a SplitLSN, reuses a pooled snapshot for that
+        ``(database, split_lsn)`` when one exists, and creates (and pools)
+        one otherwise. Pair every acquire with :meth:`release`, or use
+        :meth:`lease`.
+        """
+        split = AsOfSnapshot.resolve_split(db, as_of_wall)
+        key = (db.name, split)
+        entry = self._entries.get(key)
+        if entry is not None and (entry.snapshot.dropped or entry.snapshot.db is not db):
+            # A dropped or stale entry (its database object was replaced)
+            # cannot serve reads; rebuild it.
+            del self._entries[key]
+            entry = None
+        if entry is None:
+            snap = AsOfSnapshot.create_at_split(
+                db, f"~pool:{db.name}@{split:#x}", split
+            )
+            entry = _PoolEntry(snap)
+            self._entries[key] = entry
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        entry.refcount += 1
+        self._clock += 1
+        entry.last_used = self._clock
+        self._note_peak()
+        return entry.snapshot
+
+    def release(self, snapshot: AsOfSnapshot) -> None:
+        """Return a lease obtained from :meth:`acquire`."""
+        orphan = self._orphans.get(id(snapshot))
+        if orphan is not None:
+            # The entry was force-dropped (purge/clear) while leased; the
+            # lease still has to unwind without raising.
+            orphan.refcount -= 1
+            if orphan.refcount <= 0:
+                del self._orphans[id(snapshot)]
+            self.stats.releases += 1
+            return
+        key = (snapshot.db.name, snapshot.split_lsn)
+        entry = self._entries.get(key)
+        if entry is None or entry.snapshot is not snapshot:
+            raise SnapshotError(
+                f"snapshot {snapshot.name!r} is not leased from this pool"
+            )
+        if entry.refcount <= 0:
+            raise SnapshotError(f"snapshot {snapshot.name!r} released twice")
+        entry.refcount -= 1
+        self.stats.releases += 1
+        self.evict_to_budget()
+
+    @contextmanager
+    def lease(self, db, as_of_wall: float) -> Iterator[AsOfSnapshot]:
+        """``with pool.lease(db, t) as snap:`` — acquire/release pairing."""
+        snapshot = self.acquire(db, as_of_wall)
+        try:
+            yield snapshot
+        finally:
+            self.release(snapshot)
+
+    # ------------------------------------------------------------------
+    # Budget / eviction
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Sparse side-file bytes across all pooled snapshots.
+
+        Recomputed on demand: side files grow lazily as queries touch
+        pages, so a cached sum would go stale.
+        """
+        return sum(
+            entry.snapshot.side_file_bytes() for entry in self._entries.values()
+        )
+
+    def _note_peak(self) -> None:
+        total = self.total_bytes()
+        if total > self.stats.peak_bytes:
+            self.stats.peak_bytes = total
+
+    def evict_to_budget(self) -> int:
+        """Drop idle least-recently-used entries until the total side-file
+        footprint fits the budget; returns how many were evicted.
+
+        Entries with live leases are never evicted — the pool may
+        transiently exceed its budget while every entry is in use.
+        """
+        self._note_peak()
+        evicted = 0
+        while self.total_bytes() > self.budget_bytes:
+            idle = [
+                (entry.last_used, key)
+                for key, entry in self._entries.items()
+                if entry.refcount == 0
+            ]
+            if not idle:
+                break
+            _stamp, key = min(idle)
+            self._drop_entry(key)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
+    def set_budget(self, budget_bytes: int) -> None:
+        """Change the byte budget and evict immediately if now over it."""
+        if budget_bytes <= 0:
+            raise ValueError("snapshot pool budget must be positive")
+        self.budget_bytes = budget_bytes
+        self.evict_to_budget()
+
+    def _drop_entry(self, key: tuple[str, int]) -> None:
+        entry = self._entries.pop(key)
+        if entry.refcount > 0:
+            self._orphans[id(entry.snapshot)] = entry
+        entry.snapshot.drop()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def purge_database(self, db_name: str) -> int:
+        """Drop every pooled snapshot of ``db_name`` (the database is
+        being dropped); returns how many entries were purged.
+
+        Entries with live leases are dropped too — the database is going
+        away — but their outstanding releases remain balanced: in-flight
+        readers see :class:`SnapshotError` on their next page access, not
+        on release.
+        """
+        keys = [key for key in self._entries if key[0] == db_name]
+        for key in keys:
+            self._drop_entry(key)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every pooled snapshot."""
+        for key in list(self._entries):
+            self._drop_entry(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._entries
+
+    def entries(self) -> list[tuple[str, int, int, int]]:
+        """``(db_name, split_lsn, refcount, side_file_bytes)`` per entry."""
+        return [
+            (key[0], key[1], entry.refcount, entry.snapshot.side_file_bytes())
+            for key, entry in sorted(
+                self._entries.items(), key=lambda item: item[1].last_used
+            )
+        ]
+
+    def active_leases(self) -> int:
+        return sum(entry.refcount for entry in self._entries.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotPool(entries={len(self._entries)}, "
+            f"bytes={self.total_bytes()}/{self.budget_bytes}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"evictions={self.stats.evictions})"
+        )

@@ -35,6 +35,35 @@ def checkpoint_chain(db, *, max_entries: int | None = None):
             break
 
 
+def _last_commit_lsn(db) -> int:
+    """The LSN of the last commit record in the retained log.
+
+    The common case is O(1): the log manager tracks the last appended
+    commit. The scan fallback covers logs where the tracker is unset
+    (freshly restored files, post-crash before any commit). With no
+    commit anywhere the last appended record's start LSN is returned, so
+    the result is always a readable record boundary.
+    """
+    tracked = getattr(db.log, "last_commit_lsn", NULL_LSN)
+    if tracked != NULL_LSN and tracked >= db.log.start_lsn:
+        return tracked
+    base = db.last_checkpoint_lsn
+    if base == NULL_LSN or base < db.log.start_lsn:
+        base = db.log.start_lsn
+    for start in dict.fromkeys((base, db.log.start_lsn)):
+        last_commit = NULL_LSN
+        last_record = NULL_LSN
+        for rec in db.log.scan(start):
+            last_record = rec.lsn
+            if isinstance(rec, CommitRecord):
+                last_commit = rec.lsn
+        if last_commit != NULL_LSN:
+            return last_commit
+    if last_record != NULL_LSN:
+        return last_record
+    return FIRST_LSN
+
+
 def find_split_lsn(db, target_wall: float) -> int:
     """The SplitLSN for a snapshot as of ``target_wall`` (simulated time).
 
@@ -43,8 +72,11 @@ def find_split_lsn(db, target_wall: float) -> int:
     """
     now = db.env.clock.now()
     if target_wall >= now:
-        # "As of now" (or future): everything committed so far.
-        return max(db.log.end_lsn - 1, FIRST_LSN)
+        # "As of now" (or future): everything committed so far. The split
+        # must be a real record LSN (callers read it back and the analysis
+        # window is bounded at split + 1), so return the last commit
+        # record's LSN — not a raw byte offset into the log tail.
+        return _last_commit_lsn(db)
 
     # Narrow using the checkpoint chain: newest checkpoint at/before target.
     base_lsn = NULL_LSN

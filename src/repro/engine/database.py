@@ -26,7 +26,6 @@ from repro.engine.boot import BOOT_PAGE_ID, BOOT_SLOT, BootRecord, read_boot_rec
 from repro.errors import (
     CatalogError,
     SnapshotReadOnlyError,
-    TransactionError,
 )
 from repro.storage.buffer import BufferPool
 from repro.storage.allocation import AllocationManager

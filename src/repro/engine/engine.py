@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from datetime import datetime
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.config import DatabaseConfig, SimEnv
 from repro.engine.database import Database
@@ -13,6 +14,7 @@ from repro.sim.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.asof import AsOfSnapshot
+    from repro.core.snapshot_pool import SnapshotPool
     from repro.snapshot.base import RegularSnapshot
 
 
@@ -25,11 +27,24 @@ class Engine:
     competing for the same media.
     """
 
-    def __init__(self, env: SimEnv | None = None, config: DatabaseConfig | None = None) -> None:
+    def __init__(
+        self,
+        env: SimEnv | None = None,
+        config: DatabaseConfig | None = None,
+        snapshot_pool_budget: int | None = None,
+    ) -> None:
+        from repro.core.snapshot_pool import DEFAULT_POOL_BUDGET_BYTES, SnapshotPool
+
         self.env = env if env is not None else SimEnv.for_tests()
         self.default_config = config if config is not None else DatabaseConfig()
         self.databases: dict[str, Database] = {}
         self.snapshots: dict[str, "AsOfSnapshot"] = {}
+        #: Ephemeral snapshots backing inline ``AS OF`` reads.
+        self.snapshot_pool: "SnapshotPool" = SnapshotPool(
+            snapshot_pool_budget
+            if snapshot_pool_budget is not None
+            else DEFAULT_POOL_BUDGET_BYTES
+        )
 
     # ------------------------------------------------------------------
     # Databases
@@ -52,6 +67,7 @@ class Engine:
         db = self.database(name)
         for snap_name in [n for n, s in self.snapshots.items() if s.db is db]:
             self.drop_snapshot(snap_name)
+        self.snapshot_pool.purge_database(name)
         del self.databases[name]
 
     # ------------------------------------------------------------------
@@ -67,7 +83,13 @@ class Engine:
         if isinstance(as_of, datetime):
             return SimClock.from_datetime(as_of)
         if isinstance(as_of, str):
-            moment = datetime.fromisoformat(as_of)
+            try:
+                moment = datetime.fromisoformat(as_of)
+            except ValueError as err:
+                raise ValueError(
+                    f"cannot interpret as-of time {as_of!r}: expected an ISO "
+                    f"timestamp like '2012-03-22 17:26:25.473'"
+                ) from err
             return SimClock.from_datetime(moment)
         raise ValueError(f"cannot interpret as-of time {as_of!r}")
 
@@ -106,6 +128,33 @@ class Engine:
         snap.drop()
         snap.db.snapshots.pop(name, None)
         del self.snapshots[name]
+
+    # ------------------------------------------------------------------
+    # Inline point-in-time reads (pooled ephemeral snapshots)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def query_as_of(self, db_name: str, as_of) -> Iterator["AsOfSnapshot"]:
+        """Lease a read-only view of ``db_name`` as of ``as_of``.
+
+        No DDL, no naming, no manual drop: the view comes from the
+        engine's :class:`~repro.core.snapshot_pool.SnapshotPool`, so
+        repeated queries at the same point in time share one snapshot and
+        its already-prepared pages. ``as_of`` accepts simulated seconds, a
+        :class:`datetime.datetime`, or an ISO timestamp string (anything
+        :meth:`resolve_as_of` takes).
+
+        ::
+
+            with engine.query_as_of("shop", "2012-03-22 17:26:25") as snap:
+                rows = list(snap.scan("items"))
+        """
+        db = self.database(db_name)
+        snapshot = self.snapshot_pool.acquire(db, self.resolve_as_of(as_of))
+        try:
+            yield snapshot
+        finally:
+            self.snapshot_pool.release(snapshot)
 
     # ------------------------------------------------------------------
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from repro.core.asof import AsOfSnapshot
 from repro.engine.recovery import analyze_log
 from repro.storage.page import Page
-from repro.wal.lsn import NULL_LSN
 
 
 class RegularSnapshot(AsOfSnapshot):

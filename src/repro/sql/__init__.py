@@ -5,6 +5,19 @@ Covers the statements the paper's workflows use — snapshot DDL
 configuration (``ALTER DATABASE ... SET UNDO_INTERVAL = 24 HOURS``),
 and the ``INSERT ... SELECT`` reconcile step of dropped-table recovery —
 plus enough general DML/queries to drive examples end to end.
+
+Point-in-time queries are also available inline, with no snapshot DDL::
+
+    SELECT * FROM [db.]table AS OF '<time>' [WHERE ...]
+
+The ``AS OF`` qualifier (an ISO timestamp string or simulated-seconds
+number) routes the scan through an ephemeral snapshot leased from the
+engine's :class:`~repro.core.snapshot_pool.SnapshotPool`: consecutive
+queries at the same point share one snapshot and its prepared pages, and
+the reconcile step collapses to
+``INSERT INTO t SELECT * FROM t AS OF '<time>'``. ``AS OF`` sources are
+read-only and require a live database (a named snapshot is already a
+fixed point in time).
 """
 
 from repro.sql.executor import Result, Session

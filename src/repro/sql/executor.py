@@ -4,6 +4,13 @@ A :class:`Session` is bound to an engine plus a current target — a live
 database or a snapshot (``USE snap_name``). Reads work against either;
 writes require a live database. The paper's reconcile step is a plain
 ``INSERT INTO t SELECT ... FROM snap.t`` across the two.
+
+A SELECT source may carry an inline point-in-time qualifier
+(``SELECT ... FROM t AS OF '<time>'``): the scan then runs against an
+ephemeral snapshot leased from the engine's snapshot pool for the duration
+of the statement — no snapshot DDL, naming, or cleanup involved. The
+reconcile step works inline too:
+``INSERT INTO t SELECT * FROM t AS OF '<time>'``.
 """
 
 from __future__ import annotations
@@ -148,6 +155,8 @@ class Session:
         raise SqlExecutionError(f"unknown database or snapshot {name!r}")
 
     def _writer_for(self, ref: TableRef):
+        if ref.as_of is not None:
+            raise SnapshotReadOnlyError("AS OF table references are read-only")
         target = self._reader_for(ref)
         if ref.database is None and self.current in self.engine.snapshots:
             raise SnapshotReadOnlyError("snapshots are read-only")
@@ -209,7 +218,24 @@ class Session:
     # ------------------------------------------------------------------
 
     def _select_rows(self, stmt: Select):
-        reader = self._reader_for(stmt.table)
+        ref = stmt.table
+        if ref.as_of is not None:
+            # Inline point-in-time read: lease an ephemeral snapshot from
+            # the engine's pool for the duration of the scan. The target
+            # must be a live database — a named snapshot is already a
+            # fixed point in time.
+            name = ref.database or self.current
+            if name is None:
+                raise SqlExecutionError("no database selected (USE <name>)")
+            if name not in self.engine.databases:
+                raise SqlExecutionError(
+                    f"AS OF requires a live database, not {name!r}"
+                )
+            with self.engine.query_as_of(name, ref.as_of) as snapshot:
+                return self._filter_rows(snapshot, stmt)
+        return self._filter_rows(self._reader_for(ref), stmt)
+
+    def _filter_rows(self, reader, stmt: Select):
         schema = self._schema_of(reader, stmt.table.name)
         names = schema.column_names
         out = []

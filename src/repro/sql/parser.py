@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.schema import Column, ColumnType
 from repro.errors import SqlSyntaxError
@@ -59,10 +59,17 @@ STAR = object()
 
 @dataclass(frozen=True)
 class TableRef:
-    """``name`` or ``database.name`` (snapshots are databases here too)."""
+    """``name`` or ``database.name`` (snapshots are databases here too).
+
+    ``as_of`` carries an inline point-in-time qualifier
+    (``FROM t AS OF '<time>'``): an ISO timestamp string or a simulated-
+    seconds number. Only SELECT sources may carry one — writes through a
+    past view are rejected.
+    """
 
     name: str
     database: str | None = None
+    as_of: str | float | None = None
 
 
 @dataclass(frozen=True)
@@ -284,11 +291,26 @@ class Parser:
             raise self.error("expected TABLES or SNAPSHOTS")
         raise self.error(f"unsupported statement {word}")
 
-    def parse_table_ref(self) -> TableRef:
+    def parse_table_ref(self, *, allow_as_of: bool = False) -> TableRef:
         first = self.expect_ident()
         if self.accept_punct("."):
-            return TableRef(name=self.expect_ident(), database=first)
-        return TableRef(name=first)
+            ref = TableRef(name=self.expect_ident(), database=first)
+        else:
+            ref = TableRef(name=first)
+        if allow_as_of and self.accept_keyword("AS"):
+            self.expect_keyword("OF")
+            ref = TableRef(ref.name, ref.database, as_of=self._parse_as_of_value())
+        return ref
+
+    def _parse_as_of_value(self) -> str | float:
+        token = self.peek()
+        if token.ttype is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.ttype is TokenType.NUMBER:
+            self.advance()
+            return float(token.value)
+        raise self.error("expected a timestamp string or number after AS OF")
 
     def parse_select(self) -> Select:
         self.expect_keyword("SELECT")
@@ -307,7 +329,7 @@ class Parser:
             if not self.accept_punct(","):
                 break
         self.expect_keyword("FROM")
-        table = self.parse_table_ref()
+        table = self.parse_table_ref(allow_as_of=True)
         where = self.parse_expr() if self.accept_keyword("WHERE") else None
         order_by = []
         if self.accept_keyword("ORDER"):

@@ -23,6 +23,7 @@ from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
 from repro.wal.records import (
     LOG_HEADER_MAGIC,
     ClrRecord,
+    CommitRecord,
     LogRecord,
     PageImageRecord,
     PreformatPageRecord,
@@ -46,6 +47,7 @@ class LogManager:
         self._base = 0  # LSN of _data[0]
         self._durable_end = FIRST_LSN
         self._truncated_before = FIRST_LSN
+        self._last_commit_lsn = NULL_LSN
         self._cache: OrderedDict[int, None] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -71,6 +73,12 @@ class LogManager:
         """Bytes of retained log (Figure 5's space metric)."""
         return len(self._data)
 
+    @property
+    def last_commit_lsn(self) -> int:
+        """LSN of the last appended commit record, ``NULL_LSN`` when
+        unknown (no commit yet, or the tracker was reset by a crash)."""
+        return self._last_commit_lsn
+
     # ------------------------------------------------------------------
     # Append / flush
     # ------------------------------------------------------------------
@@ -84,6 +92,8 @@ class LogManager:
         record.lsn = self.end_lsn
         blob = record.serialize()
         self._data += blob
+        if isinstance(record, CommitRecord):
+            self._last_commit_lsn = record.lsn
         stats = self.env.stats
         stats.log_records += 1
         if isinstance(record, PreformatPageRecord):
@@ -221,6 +231,10 @@ class LogManager:
         keep = self._durable_end - self._base
         del self._data[keep:]
         self._cache.clear()
+        if self._last_commit_lsn >= self._durable_end:
+            # The last commit sat in the volatile tail; the survivor (if
+            # any) is only discoverable by scanning, so reset the tracker.
+            self._last_commit_lsn = NULL_LSN
 
     def truncate_before(self, lsn: int) -> None:
         """Drop all records with LSN < ``lsn`` (retention enforcement).

@@ -146,3 +146,17 @@ class TpccDriver:
     def stock_level_query(self, reader, w_id: int = 1, d_id: int = 1, threshold: int = 60) -> int:
         """The paper's as-of query against any reader (db or snapshot)."""
         return stock_level(reader, w_id, d_id, threshold)
+
+    def stock_level_as_of(
+        self,
+        engine,
+        as_of,
+        w_id: int = 1,
+        d_id: int = 1,
+        threshold: int = 60,
+    ) -> int:
+        """The paper's as-of query through the inline pooled path: no
+        snapshot DDL, the view is leased from ``engine.snapshot_pool`` and
+        released when the query returns."""
+        with engine.query_as_of(self.db.name, as_of) as snapshot:
+            return stock_level(snapshot, w_id, d_id, threshold)

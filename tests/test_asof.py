@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CatalogError, SnapshotError
+from repro.errors import CatalogError, RetentionExceededError, SnapshotError
 from tests.conftest import ITEMS_SCHEMA, fill_items
 
 
@@ -251,6 +251,80 @@ class TestSnapshotSemantics:
         assert s0.get("items", (1,))[2] == 10
         assert s1.get("items", (1,))[2] == 100
         assert db.get("items", (1,))[2] == 200
+
+    def test_truncated_log_mid_window_raises_retention_error(self, engine, items_db):
+        """The wall-clock retention check can pass while an in-flight
+        transaction's chain still reaches below the truncation horizon;
+        creation must surface RetentionExceededError, not leak the raw
+        LogTruncatedError."""
+        db = items_db
+        fill_items(db, 5)
+        straddler = db.begin()
+        db.update(straddler, "items", (1,), {"qty": -1})  # early chain LSN
+        db.env.clock.advance(20)
+        first_checkpoint = db.checkpoint()  # straddler is active here
+        db.env.clock.advance(5)
+        with db.transaction() as txn:
+            db.insert(txn, "items", (100, "late", 1))
+        t_mid = db.env.clock.now()
+        db.env.clock.advance(5)
+        db.commit(straddler)
+        # Truncate past the straddler's early records. t_mid is still well
+        # inside the (24h default) wall-clock retention window.
+        db.log.flush()
+        db.log.truncate_before(first_checkpoint)
+        with pytest.raises(RetentionExceededError):
+            engine.create_asof_snapshot("itemsdb", "leak", t_mid)
+
+    def test_frame_cache_eviction_during_large_scan(self, engine, small_config):
+        """Scanning more pages than the snapshot frame cache holds (256)
+        must evict cleanly: results stay correct and the sparse side file
+        stays the durable tier the evicted frames fall back to."""
+        from repro.catalog.schema import Column, ColumnType, TableSchema
+
+        db = engine.create_database("big", small_config)
+        schema = TableSchema(
+            "big",
+            (
+                Column("id", ColumnType.INT),
+                Column("pad", ColumnType.STR, max_len=420),
+            ),
+            key=("id",),
+        )
+        db.create_table(schema)
+        with db.transaction() as txn:
+            for i in range(600):
+                db.insert(txn, "big", (i, "x" * 400))
+        # A straddling transaction so the scan drives logical undo and the
+        # undone pages are written back dirty to the sparse file.
+        straddler = db.begin()
+        db.update(straddler, "big", (300,), {"pad": "stray"})
+        anchor = db.begin()
+        db.update(anchor, "big", (0,), {"pad": "anchor"})
+        db.commit(anchor)
+        t_mid = db.env.clock.now()
+        db.env.clock.advance(10)
+        db.commit(straddler)
+
+        snap = engine.create_asof_snapshot("big", "scan", t_mid)
+        rows = list(snap.scan("big"))
+        assert [row[0] for row in rows] == list(range(600))
+        assert rows[0][1] == "anchor"  # committed before the split: kept
+        assert rows[300][1] == "x" * 400  # straddler undone
+        # More pages were materialized than the frame cache may hold, so
+        # eviction ran; the cache is bounded and the sparse file is the
+        # full record of what was prepared.
+        assert snap.sparse.page_count > 256
+        assert len(snap._frames) <= 256
+        assert snap.side_file_bytes() == snap.sparse.page_count * db.config.page_size
+        # A second scan is served from the side file: same rows, not a
+        # single page re-prepared.
+        prepared = db.env.stats.pages_prepared_asof
+        side_bytes = snap.side_file_bytes()
+        rows_again = list(snap.scan("big"))
+        assert rows_again == rows
+        assert db.env.stats.pages_prepared_asof == prepared
+        assert snap.side_file_bytes() == side_bytes
 
     def test_boot_settings_visible_as_of(self, engine, items_db):
         """Even engine settings rewind: the boot page is ordinary data."""

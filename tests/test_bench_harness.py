@@ -9,8 +9,6 @@ from __future__ import annotations
 import json
 import os
 
-import pytest
-
 from repro.bench.harness import (
     run_logging_sweep,
     run_time_travel_experiment,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import SimEnv
 from repro.errors import BufferPoolError
-from repro.sim.device import SLC_SSD
 from repro.storage.buffer import BufferPool
 from repro.storage.datafile import FileManager, MemoryDataFile
 from repro.storage.page import Page, PageType

@@ -9,7 +9,6 @@ from repro.catalog.catalog import (
     SYS_OBJECTS_ID,
     FIRST_USER_OBJECT_ID,
 )
-from repro.catalog.schema import Column, ColumnType, TableSchema
 from repro.errors import CatalogError
 from tests.conftest import ITEMS_SCHEMA, WIDE_SCHEMA
 

@@ -1,0 +1,163 @@
+"""Inline ``SELECT ... FROM t AS OF '<time>'`` — the point-in-time query
+of the paper's title with no snapshot DDL at all."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    SnapshotReadOnlyError,
+    SqlExecutionError,
+    SqlSyntaxError,
+)
+from repro.sql.parser import Select, parse_script
+
+
+@pytest.fixture
+def session(engine):
+    engine.create_database("shop")
+    session = engine.session("shop")
+    session.execute(
+        """
+        CREATE TABLE items (
+            id INT NOT NULL,
+            name VARCHAR(64) NOT NULL,
+            qty INT NOT NULL,
+            PRIMARY KEY (id)
+        )
+        """
+    )
+    session.execute("INSERT INTO items VALUES (1, 'one', 10), (2, 'two', 20)")
+    return session
+
+
+def mark(engine) -> float:
+    now = engine.env.clock.now()
+    engine.env.clock.advance(10)
+    return now
+
+
+class TestParsing:
+    def test_as_of_string(self):
+        (stmt,) = parse_script(
+            "SELECT * FROM items AS OF '2012-03-22 17:26:25.473'"
+        )
+        assert isinstance(stmt, Select)
+        assert stmt.table.as_of == "2012-03-22 17:26:25.473"
+
+    def test_as_of_number(self):
+        (stmt,) = parse_script("SELECT * FROM items AS OF 123.5")
+        assert stmt.table.as_of == 123.5
+
+    def test_qualified_table_as_of(self):
+        (stmt,) = parse_script("SELECT * FROM shop.items AS OF '2012-01-01'")
+        assert stmt.table.database == "shop"
+        assert stmt.table.as_of == "2012-01-01"
+
+    def test_as_of_composes_with_clauses(self):
+        (stmt,) = parse_script(
+            "SELECT id FROM items AS OF 5 WHERE qty > 1 ORDER BY id LIMIT 2"
+        )
+        assert stmt.table.as_of == 5.0
+        assert stmt.where is not None
+        assert stmt.limit == 2
+
+    def test_plain_select_has_no_as_of(self):
+        (stmt,) = parse_script("SELECT * FROM items")
+        assert stmt.table.as_of is None
+
+    def test_as_requires_of(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_script("SELECT * FROM items AS alias")
+
+    def test_as_of_requires_value(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_script("SELECT * FROM items AS OF WHERE qty > 1")
+
+    def test_as_of_rejected_on_write_targets(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_script("UPDATE items AS OF 5 SET qty = 1")
+        with pytest.raises(SqlSyntaxError):
+            parse_script("DELETE FROM items AS OF 5")
+
+
+class TestExecution:
+    def test_time_travel_without_ddl(self, engine, session):
+        t0 = mark(engine)
+        session.execute("UPDATE items SET qty = 999 WHERE id = 1")
+        result = session.execute(f"SELECT qty FROM items AS OF {t0} WHERE id = 1")
+        assert result.scalar() == 10
+        assert session.execute("SELECT qty FROM items WHERE id = 1").scalar() == 999
+        # No named snapshot was created anywhere.
+        assert not engine.snapshots
+        assert session.execute("SHOW SNAPSHOTS").rowcount == 0
+
+    def test_consecutive_queries_reuse_pooled_snapshot(self, engine, session):
+        t0 = mark(engine)
+        session.execute("DELETE FROM items WHERE id = 2")
+        first = session.execute(f"SELECT COUNT(*) FROM items AS OF {t0}")
+        bytes_after_first = engine.snapshot_pool.total_bytes()
+        second = session.execute(f"SELECT COUNT(*) FROM items AS OF {t0}")
+        assert first.scalar() == second.scalar() == 2
+        # The second query hit the pool: no new snapshot, no new side file.
+        assert engine.snapshot_pool.stats.misses == 1
+        assert engine.snapshot_pool.stats.hits == 1
+        assert engine.snapshot_pool.total_bytes() == bytes_after_first
+
+    def test_iso_timestamp_string(self, engine, session):
+        t0 = mark(engine)
+        session.execute("UPDATE items SET qty = -1 WHERE id = 2")
+        moment = engine.env.clock.to_datetime(t0)
+        iso = moment.replace(tzinfo=None).isoformat(sep=" ")
+        result = session.execute(f"SELECT qty FROM items AS OF '{iso}' WHERE id = 2")
+        assert result.scalar() == 20
+
+    def test_qualified_name_no_use_needed(self, engine, session):
+        t0 = mark(engine)
+        session.execute("UPDATE items SET qty = 0 WHERE id = 1")
+        fresh = engine.session()  # no current database at all
+        result = fresh.execute(f"SELECT qty FROM shop.items AS OF {t0} WHERE id = 1")
+        assert result.scalar() == 10
+
+    def test_inline_reconcile_insert_select(self, engine, session):
+        t0 = mark(engine)
+        session.execute("DELETE FROM items")
+        assert session.execute("SELECT COUNT(*) FROM items").scalar() == 0
+        session.execute(f"INSERT INTO items SELECT * FROM items AS OF {t0}")
+        assert session.execute("SELECT COUNT(*) FROM items").scalar() == 2
+
+    def test_aggregates_and_order_by_as_of(self, engine, session):
+        t0 = mark(engine)
+        session.execute("INSERT INTO items VALUES (3, 'three', 30)")
+        result = session.execute(
+            f"SELECT SUM(qty), COUNT(*) FROM items AS OF {t0}"
+        )
+        assert result.rows == [(30, 2)]
+        ordered = session.execute(
+            f"SELECT id FROM items AS OF {t0} ORDER BY id DESC"
+        )
+        assert [row[0] for row in ordered.rows] == [2, 1]
+
+    def test_as_of_against_named_snapshot_rejected(self, engine, session):
+        t0 = mark(engine)
+        engine.create_asof_snapshot("shop", "fixed", t0)
+        with pytest.raises(SqlExecutionError):
+            session.execute(f"SELECT * FROM fixed.items AS OF {t0}")
+
+    def test_as_of_needs_current_database(self, engine, session):
+        t0 = mark(engine)
+        fresh = engine.session()
+        with pytest.raises(SqlExecutionError):
+            fresh.execute(f"SELECT * FROM items AS OF {t0}")
+
+    def test_as_of_is_read_only_via_writer_path(self, engine, session):
+        from repro.sql.parser import TableRef
+
+        with pytest.raises(SnapshotReadOnlyError):
+            session._writer_for(TableRef("items", as_of=1.0))
+
+    def test_as_of_now_sees_latest_committed(self, engine, session):
+        session.execute("UPDATE items SET qty = 777 WHERE id = 1")
+        now = engine.env.clock.now()
+        result = session.execute(f"SELECT qty FROM items AS OF {now} WHERE id = 1")
+        assert result.scalar() == 777

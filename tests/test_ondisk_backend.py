@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro import DatabaseConfig, Engine
+from repro import DatabaseConfig
 from repro.storage.datafile import OnDiskDataFile
 from repro.engine.database import Database
 from tests.conftest import ITEMS_SCHEMA, fill_items

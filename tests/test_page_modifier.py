@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import DatabaseConfig, Engine
 from repro.storage.page import Page, PageType
 from repro.wal.apply import UnloggedModifier

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro import DatabaseConfig, Engine, LoggingExtensions
+from repro import DatabaseConfig, Engine
 from repro.core.page_undo import prepare_page_as_of
-from repro.errors import LogTruncatedError, MissingUndoInfoError
+from repro.errors import LogTruncatedError
 from repro.storage.page import Page
 from tests.conftest import ITEMS_SCHEMA, fill_items
 

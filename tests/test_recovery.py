@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
-from repro.engine.recovery import analyze_log, run_crash_recovery
+from repro.engine.recovery import analyze_log
 from tests.conftest import ITEMS_SCHEMA, fill_items
 
 

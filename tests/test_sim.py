@@ -7,7 +7,7 @@ from datetime import datetime, timezone
 import pytest
 
 from repro.sim.clock import SIM_EPOCH, SimClock
-from repro.sim.device import SAS_10K, SLC_SSD, ZERO_COST, DeviceProfile, SimDevice
+from repro.sim.device import SAS_10K, SLC_SSD, ZERO_COST, SimDevice
 from repro.sim.iostats import IoStats
 
 

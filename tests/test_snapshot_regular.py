@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from tests.conftest import ITEMS_SCHEMA, fill_items
+from tests.conftest import fill_items
 
 
 class TestCowSnapshot:

@@ -51,7 +51,50 @@ class TestSplitSearch:
         db = items_db
         committed_marks(db, 2)
         split = find_split_lsn(db, db.env.clock.now() + 100)
-        assert split == db.log.end_lsn - 1
+        # The split must be a readable record LSN (not a raw byte offset
+        # into the middle of the last record) — and the last commit.
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
+        assert not [
+            r for r in db.log.scan(split)
+            if isinstance(r, CommitRecord) and r.lsn > split
+        ]
+
+    def test_now_split_tracked_without_log_scan(self, items_db):
+        """The common "as of now" path is O(1): the log manager tracks the
+        last commit LSN at append time."""
+        db = items_db
+        committed_marks(db, 3)
+        assert db.log.last_commit_lsn != 0
+        split = find_split_lsn(db, db.env.clock.now() + 1)
+        assert split == db.log.last_commit_lsn
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
+
+    def test_now_split_survives_crash_tracker_reset(self, items_db):
+        """After a crash discards the volatile tail the tracker resets;
+        the scan fallback still finds a readable commit LSN."""
+        db = items_db
+        committed_marks(db, 2)
+        db.log.flush()
+        # A commit stuck in the volatile tail (never flushed), as a torn
+        # group commit would leave it.
+        db.log.append(CommitRecord(wall_clock=db.env.clock.now(), txn_id=999))
+        db.log.crash()
+        assert db.log.last_commit_lsn == 0  # NULL: tracker was reset
+        split = find_split_lsn(db, db.env.clock.now() + 1)
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
+
+    def test_now_split_readable_without_checkpoint_narrowing(self, items_db):
+        """Regression: "as of now" used to return end_lsn - 1, which is not
+        a record boundary; log.read on the result must always succeed."""
+        db = items_db
+        committed_marks(db, 3)
+        db.checkpoint()  # tail after the last checkpoint holds no commit
+        split = find_split_lsn(db, db.env.clock.now())
+        rec = db.log.read(split)
+        assert isinstance(rec, CommitRecord)
 
     def test_checkpoint_narrowing_used(self, items_db):
         db = items_db

@@ -13,9 +13,7 @@ from repro.errors import (
 from repro.sql.lexer import TokenType, tokenize
 from repro.sql.parser import (
     Binary,
-    ColumnRef,
     CreateSnapshot,
-    Literal,
     Select,
     parse_script,
 )
