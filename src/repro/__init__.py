@@ -41,11 +41,13 @@ from repro.errors import (
     KeyNotFoundError,
     LogTruncatedError,
     MissingUndoInfoError,
+    ReplicationError,
     ReproError,
     RetentionExceededError,
     SnapshotError,
     TransactionError,
 )
+from repro.replication import LogShipper, Replica
 from repro.sim.clock import SimClock
 from repro.sim.device import SAS_10K, SLC_SSD, DeviceProfile
 from repro.snapshot.base import RegularSnapshot
@@ -71,7 +73,10 @@ __all__ = [
     "SLC_SSD",
     "prepare_page_as_of",
     "find_split_lsn",
+    "Replica",
+    "LogShipper",
     "ReproError",
+    "ReplicationError",
     "RetentionExceededError",
     "MissingUndoInfoError",
     "LogTruncatedError",

@@ -179,16 +179,26 @@ class AsOfSnapshot:
         self._table_cache: dict[str, SnapshotTable] = {}
         self._tree_cache: dict[int, BTree] = {}
         self.dropped = False
+        #: Oldest LSN this snapshot may still need from the primary's log
+        #: (analysis base and in-flight undo chains); pooled snapshots
+        #: report it to retention enforcement so the log is not truncated
+        #: out from under a cached entry.
+        self.retention_pin_lsn = split_lsn
         #: In-flight transactions at the SplitLSN, pending logical undo:
         #: txn_id -> last LSN (≤ split).
         self._pending_undo: dict[int, int] = {}
         #: Re-acquired lock sets: txn_id -> [(object_id, key_bytes), ...].
         self._pending_locks: dict[int, list] = {}
+        #: Losers whose chains may reach below the analysis window.
+        self._checkpoint_seeded: set = set()
         if analysis is not None:
             self._pending_undo = dict(analysis.losers)
             self._pending_locks = {
                 txn_id: list(keys) for txn_id, keys in analysis.loser_locks.items()
             }
+            self._checkpoint_seeded = set(analysis.checkpoint_seeded) & set(
+                self._pending_undo
+            )
 
     # ------------------------------------------------------------------
     # Creation (paper section 5.1 / 5.2)
@@ -225,8 +235,14 @@ class AsOfSnapshot:
         than leaking the storage-level :class:`LogTruncatedError`.
         """
         try:
-            # Make every page with LSN <= split durable in the primary files.
-            db.checkpoint()
+            # Make every page with LSN <= split durable in the primary
+            # files. A read-only target (a replication standby) cannot —
+            # and need not — checkpoint: its pages are only ever written
+            # by redo apply, so its buffered state already covers the
+            # split, and appending to its log would corrupt the shipped
+            # stream's LSN space.
+            if not db.read_only:
+                db.checkpoint()
             # Analysis from the checkpoint preceding the split, bounded at
             # the split: yields the transactions in flight at that point
             # plus the row locks the redo pass re-acquires (no page reads
@@ -240,6 +256,7 @@ class AsOfSnapshot:
                 base = db.log.start_lsn
             analysis = analyze_log(db.log, base, split + 1)
             snap = cls(db, name, split, analysis=analysis)
+            snap.retention_pin_lsn = min(base, split)
             snap._collect_missing_locks()
         except LogTruncatedError as err:
             raise RetentionExceededError(
@@ -250,26 +267,38 @@ class AsOfSnapshot:
         return snap
 
     def _collect_missing_locks(self) -> None:
-        """Walk chains of in-flight transactions whose modifications all
-        precede the analysis window, re-acquiring their locks too."""
+        """Walk chains of in-flight transactions whose modifications may
+        precede the analysis window: re-acquire their locks and deepen the
+        retention pin to the oldest chained LSN.
+
+        Transactions discovered *inside* the window whose locks analysis
+        already collected begin at or after the window base, so they need
+        no walk; checkpoint-seeded ones can chain arbitrarily far back and
+        are always walked (their depth is what the pin must cover).
+        """
+        pin = self.retention_pin_lsn
         for txn_id, last_lsn in self._pending_undo.items():
-            if txn_id in self._pending_locks:
+            have_locks = txn_id in self._pending_locks
+            if have_locks and txn_id not in self._checkpoint_seeded:
                 continue
             keys = []
             cur = last_lsn
             while cur != NULL_LSN:
+                pin = min(pin, cur)
                 rec = self.log.read(cur)
                 if isinstance(rec, BeginRecord):
                     break
                 if isinstance(rec, ClrRecord):
                     cur = rec.undo_next_lsn
                     continue
-                key_bytes = getattr(rec, "key_bytes", b"")
-                if key_bytes and not rec.is_smo:
-                    keys.append((rec.object_id, key_bytes))
+                if not have_locks:
+                    key_bytes = getattr(rec, "key_bytes", b"")
+                    if key_bytes and not rec.is_smo:
+                        keys.append((rec.object_id, key_bytes))
                 cur = rec.prev_txn_lsn
-            if keys:
+            if keys and not have_locks:
                 self._pending_locks[txn_id] = keys
+        self.retention_pin_lsn = pin
 
     # ------------------------------------------------------------------
     # Page access (paper section 5.3)

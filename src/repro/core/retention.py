@@ -21,7 +21,14 @@ def retention_horizon(db) -> float:
 
 
 def enforce_retention(db) -> int:
-    """Truncate log below the retention window; returns the log start LSN."""
+    """Truncate log below the retention window; returns the log start LSN.
+
+    Besides the wall-clock horizon, the oldest active transaction and the
+    last checkpoint, enforcement consults the database's registered
+    retention pins — pooled as-of splits and log-shipping cursors — so a
+    live pooled snapshot or a lagging standby never has the log truncated
+    out from under it.
+    """
     horizon_wall = retention_horizon(db)
     keep_lsn = NULL_LSN
     for lsn, wall, _prev in checkpoint_chain(db):
@@ -34,6 +41,10 @@ def enforce_retention(db) -> int:
         if txn.first_lsn != NULL_LSN:
             keep_lsn = min(keep_lsn, txn.first_lsn)
     keep_lsn = min(keep_lsn, db.last_checkpoint_lsn)
+    for pin in db.retention_pins:
+        pinned = pin()
+        if pinned is not None and pinned != NULL_LSN:
+            keep_lsn = min(keep_lsn, pinned)
     if keep_lsn > db.log.start_lsn:
         db.log.flush()
         db.log.truncate_before(keep_lsn)

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.asof import AsOfSnapshot
-from repro.errors import SnapshotError
+from repro.errors import RetentionExceededError, SnapshotError
 
 #: Default side-file byte budget across all pooled snapshots (64 MiB).
 DEFAULT_POOL_BUDGET_BYTES = 64 * 1024 * 1024
@@ -101,8 +101,24 @@ class SnapshotPool:
         ``(database, split_lsn)`` when one exists, and creates (and pools)
         one otherwise. Pair every acquire with :meth:`release`, or use
         :meth:`lease`.
+
+        A pooled entry outlives the retention *window*: its pin keeps the
+        log retained (see :meth:`min_pin_lsn`), so a reuse whose wall-clock
+        time has aged past ``UNDO_INTERVAL`` is still served as long as it
+        maps onto a pooled split. Only snapshot *creation* stays bounded by
+        the window.
         """
-        split = AsOfSnapshot.resolve_split(db, as_of_wall)
+        try:
+            split = AsOfSnapshot.resolve_split(db, as_of_wall)
+        except RetentionExceededError:
+            from repro.core.split_lsn import find_split_lsn
+
+            # The window has closed, but a pooled split may have pinned
+            # the log; serve the reuse if the time still resolves.
+            split = find_split_lsn(db, as_of_wall)
+            entry = self._entries.get((db.name, split))
+            if entry is None or entry.snapshot.dropped or entry.snapshot.db is not db:
+                raise
         key = (db.name, split)
         entry = self._entries.get(key)
         if entry is not None and (entry.snapshot.dropped or entry.snapshot.db is not db):
@@ -211,6 +227,50 @@ class SnapshotPool:
         if entry.refcount > 0:
             self._orphans[id(entry.snapshot)] = entry
         entry.snapshot.drop()
+
+    # ------------------------------------------------------------------
+    # Retention pinning / background undo drain
+    # ------------------------------------------------------------------
+
+    def min_pin_lsn(self, db_name: str) -> int | None:
+        """Oldest LSN any pooled snapshot of ``db_name`` still needs.
+
+        Registered as a retention pin on the database (see
+        :func:`repro.core.retention.enforce_retention`): retention then
+        works around live pooled splits the same way it works around
+        active transactions, instead of entries failing at first use after
+        a truncation. ``None`` when nothing is pooled for the database.
+        """
+        pins = [
+            entry.snapshot.retention_pin_lsn
+            for (name, _split), entry in self._entries.items()
+            if name == db_name and not entry.snapshot.dropped
+        ]
+        return min(pins) if pins else None
+
+    def drain(self, max_txns: int | None = None) -> int:
+        """Drive pending background undo on pooled entries; returns how
+        many in-flight transactions were undone.
+
+        The paper admits queries immediately and lets reads pay for
+        conflicting undo lazily; draining between queries moves that cost
+        off the first reader's latency. ``max_txns`` bounds one call (the
+        pacing knob for callers draining inside a workload loop).
+        """
+        drained = 0
+        for entry in list(self._entries.values()):
+            snapshot = entry.snapshot
+            if snapshot.dropped or not snapshot.pending_undo_count:
+                continue
+            if max_txns is None:
+                drained += snapshot.run_background_undo()
+                continue
+            budget = max_txns - drained
+            if budget <= 0:
+                break
+            pending = list(snapshot._pending_undo)[:budget]
+            drained += snapshot.run_background_undo(pending)
+        return drained
 
     # ------------------------------------------------------------------
     # Lifecycle

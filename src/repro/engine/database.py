@@ -148,6 +148,8 @@ class Database:
         config: DatabaseConfig | None = None,
         env: SimEnv | None = None,
         datafile=None,
+        *,
+        bootstrap: bool = True,
     ) -> None:
         self.name = name
         self.config = config if config is not None else DatabaseConfig()
@@ -187,6 +189,22 @@ class Database:
         self._tree_cache: dict[int, BTree] = {}
         #: Registered snapshot objects (engine wires these).
         self.snapshots: dict[str, object] = {}
+        #: Callables returning an LSN the log must retain (or ``NULL_LSN``
+        #: / ``None`` for "no pin"). Registered by the engine's snapshot
+        #: pool and by log shippers with lagging standbys; consulted by
+        #: :func:`repro.core.retention.enforce_retention`.
+        self.retention_pins: list = []
+        #: When set, overrides the boot record's ``undo_interval_s`` for
+        #: retention checks. Replicas retain their whole shipped log, so
+        #: they set this to ``inf`` — reachability is then bounded by the
+        #: log itself, not the primary's configured window.
+        self.retention_override_s: float | None = None
+        if not bootstrap:
+            # A shell for log-shipping replication: state materializes by
+            # replaying the primary's log from its very first record (the
+            # primary's own bootstrap is logged, so the boot page, catalog
+            # and allocation map all arrive through redo).
+            return
         if self._is_fresh():
             self._bootstrap()
         else:
@@ -457,7 +475,20 @@ class Database:
 
     @property
     def undo_interval_s(self) -> float:
+        if self.retention_override_s is not None:
+            return self.retention_override_s
         return self.boot_record().undo_interval_s
+
+    def invalidate_caches(self) -> None:
+        """Drop derived metadata caches (boot, tables, trees).
+
+        The replica apply loop calls this after replaying records that
+        touch the boot page or the system catalog — the caches would
+        otherwise serve the pre-replay metadata.
+        """
+        self._boot_cache = None
+        self._table_cache.clear()
+        self._tree_cache.clear()
 
     def enforce_retention(self) -> int:
         """Truncate log outside the retention window; returns new start LSN."""

@@ -15,6 +15,8 @@ from repro.sim.clock import SimClock
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.core.asof import AsOfSnapshot
     from repro.core.snapshot_pool import SnapshotPool
+    from repro.replication.replica import Replica
+    from repro.replication.shipper import LogShipper
     from repro.snapshot.base import RegularSnapshot
 
 
@@ -45,17 +47,39 @@ class Engine:
             if snapshot_pool_budget is not None
             else DEFAULT_POOL_BUDGET_BYTES
         )
+        #: Warm standbys by name (see :mod:`repro.replication`).
+        self.replicas: dict[str, "Replica"] = {}
+        #: One outbound log shipper per primary database name.
+        self._shippers: dict[str, "LogShipper"] = {}
+        #: Route read-only SQL SELECTs to caught-up replicas when enabled.
+        self.read_offload = False
+        #: A replica is routable for current reads only within this lag.
+        self.read_offload_max_lag_bytes = 1 << 20
 
     # ------------------------------------------------------------------
     # Databases
     # ------------------------------------------------------------------
 
-    def create_database(self, name: str, config: DatabaseConfig | None = None) -> Database:
-        if name in self.databases or name in self.snapshots:
+    def _check_name_free(self, name: str) -> None:
+        if name in self.databases:
             raise CatalogError(f"database {name!r} already exists")
+        if name in self.snapshots:
+            raise CatalogError(f"name {name!r} is in use by a snapshot")
+        if name in self.replicas:
+            raise CatalogError(f"name {name!r} is in use by a replica")
+
+    def create_database(self, name: str, config: DatabaseConfig | None = None) -> Database:
+        self._check_name_free(name)
         db = Database(name, config or self.default_config, self.env)
+        self._register_pool_pin(db)
         self.databases[name] = db
         return db
+
+    def _register_pool_pin(self, db: Database) -> None:
+        """Pooled splits pin the database's log against retention."""
+        db.retention_pins.append(
+            lambda name=db.name: self.snapshot_pool.min_pin_lsn(name)
+        )
 
     def database(self, name: str) -> Database:
         db = self.databases.get(name)
@@ -67,6 +91,11 @@ class Engine:
         db = self.database(name)
         for snap_name in [n for n, s in self.snapshots.items() if s.db is db]:
             self.drop_snapshot(snap_name)
+        for replica_name in [
+            n for n, r in self.replicas.items() if r.primary is db
+        ]:
+            self.drop_replica(replica_name)
+        self._shippers.pop(name, None)
         self.snapshot_pool.purge_database(name)
         del self.databases[name]
 
@@ -130,31 +159,245 @@ class Engine:
         del self.snapshots[name]
 
     # ------------------------------------------------------------------
+    # Replication (log-shipping standbys)
+    # ------------------------------------------------------------------
+
+    def shipper_for(self, db_name: str) -> "LogShipper":
+        """The (lazily created) outbound log shipper for ``db_name``."""
+        from repro.replication.shipper import LogShipper
+
+        shipper = self._shippers.get(db_name)
+        if shipper is None:
+            shipper = LogShipper(self.database(db_name))
+            self._shippers[db_name] = shipper
+        return shipper
+
+    def add_replica(
+        self,
+        db_name: str,
+        name: str | None = None,
+        *,
+        apply_delay_s: float = 0.0,
+        apply_slots: int = 4,
+        config: DatabaseConfig | None = None,
+    ) -> "Replica":
+        """Create a warm standby of ``db_name`` and start shipping to it.
+
+        The replica is seeded by replaying the primary's log from its very
+        first record, so the primary's log must not have been truncated
+        yet (seed-from-backup is future work). ``apply_delay_s`` holds
+        received frames for that long before applying — the delayed-apply
+        error-recovery window.
+        """
+        from repro.errors import ReplicationError
+        from repro.replication.replica import Replica
+        from repro.wal.lsn import FIRST_LSN
+
+        db = self.database(db_name)
+        if name is None:
+            suffix = 1
+            while True:
+                name = f"{db_name}_replica{suffix}"
+                try:
+                    self._check_name_free(name)
+                    break
+                except CatalogError:
+                    suffix += 1
+        self._check_name_free(name)
+        if db.log.start_lsn != FIRST_LSN:
+            raise ReplicationError(
+                f"primary {db_name!r} log already truncated at "
+                f"{db.log.start_lsn:#x}; a replica cannot be seeded from "
+                f"the log alone"
+            )
+        replica = Replica(
+            db,
+            name,
+            apply_delay_s=apply_delay_s,
+            apply_slots=apply_slots,
+            config=config,
+        )
+        self.replicas[name] = replica
+        shipper = self.shipper_for(db_name)
+        shipper.attach(replica)
+        shipper.poll()
+        replica.apply_ready()
+        return replica
+
+    def replica(self, name: str) -> "Replica":
+        replica = self.replicas.get(name)
+        if replica is None:
+            raise CatalogError(f"no such replica: {name!r}")
+        return replica
+
+    def drop_replica(self, name: str) -> None:
+        replica = self.replica(name)
+        shipper = self._shippers.get(replica.primary.name)
+        if shipper is not None:
+            shipper.detach(name)
+        replica.drop()
+        del self.replicas[name]
+
+    def replicas_of(self, db_name: str) -> list["Replica"]:
+        return [
+            r
+            for r in self.replicas.values()
+            if r.primary.name == db_name and not r.dropped
+        ]
+
+    def promote_replica(self, name: str, up_to=None) -> Database:
+        """Promote a standby to a writable database registered under its
+        own name (failover, or delayed-apply error recovery when ``up_to``
+        stops the timeline just before the error)."""
+        replica = self.replica(name)
+        up_to_wall = None if up_to is None else self.resolve_as_of(up_to)
+        # Promote first: if it refuses (unreachable point, already-applied
+        # guard), the replica stays subscribed and keeps following.
+        db = replica.promote(up_to_wall)
+        shipper = self._shippers.get(replica.primary.name)
+        if shipper is not None:
+            shipper.detach(name)
+        del self.replicas[name]
+        self._register_pool_pin(db)
+        self.databases[name] = db
+        return db
+
+    def replication_tick(self) -> int:
+        """Pump replication once: ship pending log, apply what's eligible.
+
+        Returns the number of records applied across all replicas. The
+        workload driver calls this between transactions (the simulated
+        stand-in for the shipper/apply daemons of a real deployment).
+        """
+        for shipper in self._shippers.values():
+            shipper.poll()
+        applied = 0
+        for replica in self.replicas.values():
+            if not replica.dropped:
+                applied += replica.apply_ready()
+        return applied
+
+    def routing_replica(self, db_name: str) -> "Replica | None":
+        """The replica current reads should be offloaded to, if any.
+
+        Only non-delayed replicas within ``read_offload_max_lag_bytes`` of
+        the primary qualify; among those, the most caught-up wins. Returns
+        ``None`` when reads must stay on the primary.
+        """
+        if not self.read_offload:
+            return None
+        from repro.wal.lsn import NULL_LSN
+
+        best = None
+        for replica in self.replicas_of(db_name):
+            if replica.apply_delay_s > 0:
+                continue
+            if replica.applied_commit_lsn == NULL_LSN:
+                continue
+            if replica.lag_bytes() > self.read_offload_max_lag_bytes:
+                continue
+            if best is None or replica.applied_lsn > best.applied_lsn:
+                best = replica
+        return best
+
+    def enable_read_offload(self, max_lag_bytes: int | None = None) -> None:
+        """Route read-only SQL SELECTs to caught-up replicas."""
+        self.read_offload = True
+        if max_lag_bytes is not None:
+            self.read_offload_max_lag_bytes = max_lag_bytes
+
+    # ------------------------------------------------------------------
     # Inline point-in-time reads (pooled ephemeral snapshots)
     # ------------------------------------------------------------------
 
+    def _route_as_of(self, db_name: str, wall: float) -> "Replica | None":
+        """A replica that can serve ``wall`` without advancing its apply
+        cursor (delayed replicas keep their safety window intact).
+
+        Coverage needs the replica to have applied every commit at or
+        before ``wall``: guaranteed when its last applied commit is
+        strictly newer, or when it is fully caught up with the primary's
+        durable log (commits *at* ``wall`` may tie on the timestamp).
+        """
+        from repro.wal.lsn import NULL_LSN
+
+        best = None
+        for replica in self.replicas_of(db_name):
+            if replica.applied_commit_lsn == NULL_LSN:
+                continue
+            if replica.applied_wall <= wall and replica.lag_bytes() > 0:
+                continue
+            if best is None or replica.applied_lsn > best.applied_lsn:
+                best = replica
+        return best
+
+    def pin_as_of(self, db_name: str, as_of):
+        """Acquire a pooled as-of lease; returns ``(pool, snapshot)``.
+
+        Prefers a caught-up standby's pool (read scale-out: the primary's
+        media never sees the snapshot's page preparation); falls back to
+        the engine pool over the primary. Callers must release the
+        snapshot back to the returned pool (``USE ... AS OF`` sessions
+        hold the lease across statements; :meth:`query_as_of` scopes it).
+        """
+        wall = self.resolve_as_of(as_of)
+        replica = self._route_as_of(db_name, wall)
+        if replica is not None:
+            return replica.snapshot_pool, replica.snapshot_pool.acquire(
+                replica.db, wall
+            )
+        db = self.database(db_name)
+        return self.snapshot_pool, self.snapshot_pool.acquire(db, wall)
+
     @contextmanager
-    def query_as_of(self, db_name: str, as_of) -> Iterator["AsOfSnapshot"]:
+    def query_as_of(
+        self, db_name: str, as_of, *, replica: str | None = None
+    ) -> Iterator["AsOfSnapshot"]:
         """Lease a read-only view of ``db_name`` as of ``as_of``.
 
-        No DDL, no naming, no manual drop: the view comes from the
-        engine's :class:`~repro.core.snapshot_pool.SnapshotPool`, so
-        repeated queries at the same point in time share one snapshot and
-        its already-prepared pages. ``as_of`` accepts simulated seconds, a
-        :class:`datetime.datetime`, or an ISO timestamp string (anything
-        :meth:`resolve_as_of` takes).
+        No DDL, no naming, no manual drop: the view comes from a
+        :class:`~repro.core.snapshot_pool.SnapshotPool`, so repeated
+        queries at the same point in time share one snapshot and its
+        already-prepared pages. When a caught-up standby exists the lease
+        comes from *its* pool, offloading the point-in-time read entirely.
+        ``replica`` forces a specific standby (the delayed-recovery path:
+        it applies forward as needed to cover ``as_of``). ``as_of``
+        accepts simulated seconds, a :class:`datetime.datetime`, or an ISO
+        timestamp string (anything :meth:`resolve_as_of` takes).
 
         ::
 
             with engine.query_as_of("shop", "2012-03-22 17:26:25") as snap:
                 rows = list(snap.scan("items"))
         """
-        db = self.database(db_name)
-        snapshot = self.snapshot_pool.acquire(db, self.resolve_as_of(as_of))
+        if replica is not None:
+            rep = self.replica(replica)
+            if rep.primary.name != db_name:
+                raise CatalogError(
+                    f"replica {replica!r} replicates "
+                    f"{rep.primary.name!r}, not {db_name!r}"
+                )
+            with rep.read_as_of(self.resolve_as_of(as_of)) as snapshot:
+                yield snapshot
+            return
+        pool, snapshot = self.pin_as_of(db_name, as_of)
         try:
             yield snapshot
         finally:
-            self.snapshot_pool.release(snapshot)
+            pool.release(snapshot)
+
+    def drain_snapshot_pools(self, max_txns: int | None = None) -> int:
+        """Drive pending background undo on pooled snapshots (engine pool
+        and every replica pool); returns transactions drained."""
+        drained = self.snapshot_pool.drain(max_txns)
+        for replica in self.replicas.values():
+            if replica.dropped:
+                continue
+            budget = None if max_txns is None else max_txns - drained
+            if budget is not None and budget <= 0:
+                break
+            drained += replica.snapshot_pool.drain(budget)
+        return drained
 
     # ------------------------------------------------------------------
 
@@ -163,10 +406,20 @@ class Engine:
         from repro.sql.executor import Session
 
         session = Session(self, database)
-        return session.execute(text)
+        try:
+            return session.execute(text)
+        finally:
+            # One-shot sessions release any AS OF pin immediately.
+            session.close()
 
     def session(self, database: str | None = None):
-        """An interactive SQL session bound to this engine."""
+        """An interactive SQL session bound to this engine.
+
+        Sessions are context managers; ``USE <db> AS OF '<time>'`` pins a
+        pooled snapshot for the session's lifetime, released by the next
+        ``USE``, :meth:`~repro.sql.executor.Session.close`, or the
+        ``with`` block's exit.
+        """
         from repro.sql.executor import Session
 
         return Session(self, database)

@@ -25,13 +25,13 @@ from repro.engine.boot import BOOT_PAGE_ID, read_boot_record
 from repro.errors import RecoveryError
 from repro.txn.transaction import RecoveredTransaction
 from repro.txn.undo import LogicalUndo
+from repro.wal.apply import RedoApplier
 from repro.wal.lsn import FIRST_LSN, NULL_LSN
 from repro.wal.records import (
     AbortRecord,
     BeginRecord,
     CheckpointBeginRecord,
     CommitRecord,
-    PageImageRecord,
 )
 
 
@@ -48,6 +48,10 @@ class AnalysisResult:
     #: txn_id -> list of (object_id, key_bytes) touched by in-flight txns
     #: (used by as-of snapshot recovery to re-acquire locks).
     loser_locks: dict[int, list] = field(default_factory=dict)
+    #: Loser txn ids seeded from the starting checkpoint's active table —
+    #: their log chains may reach below the scan window (as-of snapshots
+    #: walk them for lock collection and retention pinning).
+    checkpoint_seeded: set = field(default_factory=set)
     #: LSN the scan actually stopped at.
     end_lsn: int = NULL_LSN
 
@@ -60,6 +64,7 @@ def analyze_log(log, start_lsn: int, to_lsn: int | None = None) -> AnalysisResul
         if isinstance(rec, CheckpointBeginRecord) and rec.lsn == start_lsn:
             for txn_id, last_lsn in rec.active_txns:
                 result.losers[txn_id] = last_lsn
+                result.checkpoint_seeded.add(txn_id)
                 result.max_txn_id = max(result.max_txn_id, txn_id)
             continue
         if rec.txn_id:
@@ -82,29 +87,23 @@ def analyze_log(log, start_lsn: int, to_lsn: int | None = None) -> AnalysisResul
 
 
 def redo_pass(db, analysis: AnalysisResult, to_lsn: int | None = None) -> int:
-    """Repeat history; returns the number of records replayed."""
+    """Repeat history; returns the number of records replayed.
+
+    Delegates to the :class:`~repro.wal.apply.RedoApplier` shared with
+    log-shipping replication: same gating, same page-batched apply loop.
+    """
     if not analysis.dirty_pages:
         return 0
     redo_start = min(analysis.dirty_pages.values())
-    replayed = 0
-    for rec in db.log.scan(redo_start, to_lsn, stop_on_torn_tail=True):
-        if not rec.IS_PAGE_MOD:
-            continue
+
+    def gate(rec) -> bool:
         first_lsn = analysis.dirty_pages.get(rec.page_id)
-        if first_lsn is None or rec.lsn < first_lsn:
-            continue
-        with db.fetch_page(rec.page_id) as guard:
-            page = guard.page
-            if page.is_formatted() and page.page_lsn >= rec.lsn:
-                continue
-            rec.redo(page, fetch=db.log.undo_fetch)
-            page.page_lsn = rec.lsn
-            if isinstance(rec, PageImageRecord):
-                page.last_image_lsn = rec.lsn
-            guard.mark_dirty()
-        db.env.charge_cpu(db.env.cost.redo_record_cpu_s)
-        replayed += 1
-    return replayed
+        return first_lsn is not None and rec.lsn >= first_lsn
+
+    applier = RedoApplier(db)
+    return applier.apply(
+        db.log.scan(redo_start, to_lsn, stop_on_torn_tail=True), gate=gate
+    )
 
 
 def undo_pass(db, analysis: AnalysisResult) -> int:

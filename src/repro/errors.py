@@ -111,6 +111,16 @@ class RetentionExceededError(SnapshotError):
     """
 
 
+class ReplicationError(ReproError):
+    """Log-shipping replication failure.
+
+    Raised when a shipped frame fails its checksum or arrives out of
+    order, when a standby's resume cursor falls below the primary's
+    retained log (the replica must be reseeded), or when a replica is
+    asked to serve a point it cannot reach.
+    """
+
+
 class BackupError(ReproError):
     """Backup/restore failure (missing log range, bad backup chain)."""
 

@@ -1,0 +1,338 @@
+"""The standby: a database shell kept warm by continuous redo apply.
+
+A :class:`Replica` owns a :class:`~repro.engine.database.Database` created
+without bootstrap — every page of its state, including the boot page and
+the system catalog, arrives by replaying the primary's log from its very
+first record (the primary's own bootstrap is logged). Apply runs through
+the :class:`~repro.wal.apply.RedoApplier` shared with ARIES crash
+recovery, batched per page and costed as partition-parallel redo (cf.
+*Fast Failure Recovery for Main-Memory DBMSs on Multicores*).
+
+The replica serves three kinds of reads:
+
+* **current** — the reader protocol (``get``/``scan``/``table``) against
+  the applied state; eventually consistent with the primary, bounded by
+  the shipping/apply lag.
+* **point in time** — ``AS OF`` leases from the replica's own
+  :class:`~repro.core.snapshot_pool.SnapshotPool` over the replica's own
+  shipped log; the primary is not involved at all.
+* **delayed** — with ``apply_delay_s`` set, received frames are held in a
+  staging queue and applied only once they are older than the delay. The
+  window between applied and received state is an application-error
+  safety net: any point inside it can be read (or promoted to) even after
+  the primary's retention horizon has passed, because the replica keeps
+  its entire shipped log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.catalog.catalog import SYS_COLUMNS_ID, SYS_OBJECTS_ID
+from repro.core.snapshot_pool import DEFAULT_POOL_BUDGET_BYTES, SnapshotPool
+from repro.core.split_lsn import checkpoint_chain, find_split_lsn
+from repro.engine.boot import BOOT_PAGE_ID
+from repro.engine.database import Database
+from repro.engine.recovery import analyze_log, undo_pass
+from repro.errors import ReplicationError
+from repro.replication.stream import LogFrame
+from repro.wal.apply import RedoApplier
+from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
+from repro.wal.records import CommitRecord
+
+
+@dataclass
+class ReplicaStats:
+    """Observable replica behavior."""
+
+    frames_received: int = 0
+    bytes_received: int = 0
+    records_applied: int = 0
+    apply_batches: int = 0
+    #: High-water mark of received-but-unapplied bytes (delay + lag).
+    peak_apply_backlog_bytes: int = 0
+
+
+class Replica:
+    """A warm standby for one primary database."""
+
+    def __init__(
+        self,
+        primary,
+        name: str,
+        *,
+        apply_delay_s: float = 0.0,
+        apply_slots: int = 4,
+        snapshot_pool_budget: int = DEFAULT_POOL_BUDGET_BYTES,
+        config=None,
+    ) -> None:
+        if apply_delay_s < 0:
+            raise ValueError("apply_delay_s must be >= 0")
+        self.primary = primary
+        self.name = name
+        self.apply_delay_s = apply_delay_s
+        self.db = Database(
+            name,
+            config if config is not None else primary.config,
+            primary.env,
+            bootstrap=False,
+        )
+        self.db.read_only = True
+        # The replica never truncates its shipped log; reachability is
+        # bounded by the log itself, not the primary's retention window.
+        self.db.retention_override_s = float("inf")
+        #: Pooled ephemeral snapshots over the replica's own log/state.
+        self.snapshot_pool = SnapshotPool(snapshot_pool_budget)
+        self.stats = ReplicaStats()
+        self._applier = RedoApplier(self.db, parallel_slots=apply_slots)
+        #: Next LSN to apply (exclusive end of the applied prefix).
+        self.applied_lsn = FIRST_LSN
+        #: Wall clock / LSN of the last applied commit record.
+        self.applied_wall = 0.0
+        self.applied_commit_lsn = NULL_LSN
+        #: Received frames awaiting their apply-delay: (ship_wall, end_lsn).
+        self._delay_queue: deque[tuple[float, int]] = deque()
+        #: Newest shipped checkpoint — the SplitLSN search anchor, valid
+        #: even before any page state has been applied (the checkpoint
+        #: chain lives in the log, which the standby already holds).
+        self._newest_ckpt_lsn = NULL_LSN
+        self.dropped = False
+
+    # ------------------------------------------------------------------
+    # Receive (the shipper calls this)
+    # ------------------------------------------------------------------
+
+    @property
+    def received_lsn(self) -> int:
+        """End of the log landed on this standby (the resume cursor)."""
+        return self.db.log.end_lsn
+
+    def receive(self, blob: bytes) -> int:
+        """Land one encoded frame; returns the new received LSN.
+
+        Frames must arrive in order with no gaps; a mismatched start LSN
+        raises :class:`ReplicationError` carrying the expected cursor, and
+        the shipper resynchronizes from :attr:`received_lsn`.
+        """
+        self._check_alive()
+        frame = LogFrame.decode(blob)
+        if frame.start_lsn != self.received_lsn:
+            raise ReplicationError(
+                f"replica {self.name!r} expected frame at "
+                f"{format_lsn(self.received_lsn)}, got "
+                f"{format_lsn(frame.start_lsn)}"
+            )
+        ckpt = self.db.log.ingest(frame.start_lsn, frame.payload)
+        if ckpt != NULL_LSN and ckpt > self._newest_ckpt_lsn:
+            self._newest_ckpt_lsn = ckpt
+            self.db.last_checkpoint_lsn = max(
+                self.db.last_checkpoint_lsn, ckpt
+            )
+        self._delay_queue.append((frame.ship_wall, frame.end_lsn))
+        self.stats.frames_received += 1
+        self.stats.bytes_received += len(frame.payload)
+        backlog = self.received_lsn - self.applied_lsn
+        if backlog > self.stats.peak_apply_backlog_bytes:
+            self.stats.peak_apply_backlog_bytes = backlog
+        return self.received_lsn
+
+    # ------------------------------------------------------------------
+    # Apply
+    # ------------------------------------------------------------------
+
+    def eligible_lsn(self) -> int:
+        """How far apply may currently advance (delay-aware)."""
+        if self.apply_delay_s <= 0:
+            return self.received_lsn
+        horizon = self.db.env.clock.now() - self.apply_delay_s
+        eligible = self.applied_lsn
+        for ship_wall, end_lsn in self._delay_queue:
+            if ship_wall > horizon:
+                break
+            eligible = end_lsn
+        return eligible
+
+    def apply_ready(self) -> int:
+        """Apply every received record whose delay has elapsed; returns
+        the number of records redone."""
+        self._check_alive()
+        return self._apply_range(self.eligible_lsn())
+
+    def _apply_range(self, to_lsn: int) -> int:
+        if to_lsn <= self.applied_lsn:
+            return 0
+        touched_meta = False
+        state = {"wall": self.applied_wall, "commit": self.applied_commit_lsn}
+
+        def records():
+            nonlocal touched_meta
+            for rec in self.db.log.scan(self.applied_lsn, to_lsn):
+                if isinstance(rec, CommitRecord):
+                    state["wall"] = rec.wall_clock
+                    state["commit"] = rec.lsn
+                elif rec.IS_PAGE_MOD and (
+                    rec.page_id == BOOT_PAGE_ID
+                    or rec.object_id in (SYS_OBJECTS_ID, SYS_COLUMNS_ID)
+                ):
+                    touched_meta = True
+                yield rec
+
+        applied = self._applier.apply(records())
+        self.applied_lsn = to_lsn
+        self.applied_wall = state["wall"]
+        self.applied_commit_lsn = state["commit"]
+        while self._delay_queue and self._delay_queue[0][1] <= self.applied_lsn:
+            self._delay_queue.popleft()
+        if touched_meta:
+            self.db.invalidate_caches()
+            with self.db.fetch_page(BOOT_PAGE_ID) as guard:
+                boot_ready = guard.page.is_formatted()
+            if boot_ready:
+                self.db._load_boot()
+                # The boot page trails the received log; keep the newest
+                # shipped checkpoint as the SplitLSN search anchor.
+                self.db.last_checkpoint_lsn = max(
+                    self.db.last_checkpoint_lsn, self._newest_ckpt_lsn
+                )
+        if applied:
+            self.stats.records_applied += applied
+            self.stats.apply_batches += 1
+        return applied
+
+    def ensure_applied_through(self, as_of_wall: float) -> int:
+        """Advance apply (delay notwithstanding) so ``as_of_wall`` is
+        covered; returns the SplitLSN for that time.
+
+        This is the delayed replica's recovery read path: any point inside
+        the delay window can be materialized by applying forward to it —
+        never backward, so pick the earliest interesting point first.
+        """
+        self._check_alive()
+        split = find_split_lsn(self.db, as_of_wall)
+        if split >= self.applied_lsn:
+            self._apply_range(self.db.log.record_aligned_end(split, 1))
+        return split
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_as_of(self, as_of_wall: float):
+        """Lease a pooled point-in-time view from this replica's pool.
+
+        Applies forward if the requested time is past the replica's
+        applied position (the delayed-recovery path); times already
+        covered are served without touching the apply cursor.
+        """
+        self.ensure_applied_through(as_of_wall)
+        snapshot = self.snapshot_pool.acquire(self.db, as_of_wall)
+        try:
+            yield snapshot
+        finally:
+            self.snapshot_pool.release(snapshot)
+
+    # Reader protocol passthrough: a replica quacks like a read-only
+    # database, so drivers and the SQL layer can target it directly.
+
+    def get(self, table: str, key, txn=None):
+        return self.db.get(table, key)
+
+    def scan(self, table: str, lo=None, hi=None):
+        return self.db.scan(table, lo, hi)
+
+    def table(self, name: str):
+        return self.db.table(name)
+
+    def tables(self) -> list[str]:
+        return self.db.tables()
+
+    # ------------------------------------------------------------------
+    # Lag
+    # ------------------------------------------------------------------
+
+    def lag_bytes(self) -> int:
+        """Bytes of durable primary log not yet applied here."""
+        return max(0, self.primary.log.durable_lsn - self.applied_lsn)
+
+    def received_lag_bytes(self) -> int:
+        """Bytes of durable primary log not yet shipped here."""
+        return max(0, self.primary.log.durable_lsn - self.received_lsn)
+
+    # ------------------------------------------------------------------
+    # Promotion (the delayed-apply error-recovery endgame)
+    # ------------------------------------------------------------------
+
+    def promote(self, up_to_wall: float | None = None) -> Database:
+        """Turn this standby into a writable database; returns it.
+
+        With ``up_to_wall`` the timeline stops at that point's SplitLSN —
+        shipped records beyond it are discarded — which is how a delayed
+        replica recovers from an application error: promote to just before
+        the error, inside the delay window, regardless of the primary's
+        retention horizon. Without it, everything received is applied
+        (failover to the most recent shipped state).
+
+        Transactions in flight at the promotion point are rolled back with
+        the same logical-undo machinery crash recovery uses; the replica
+        object itself is retired (``dropped``), the database lives on.
+        """
+        self._check_alive()
+        if up_to_wall is None:
+            to_lsn = self.received_lsn
+        else:
+            split = find_split_lsn(self.db, up_to_wall)
+            to_lsn = self.db.log.record_aligned_end(split, 1)
+        if to_lsn < self.applied_lsn:
+            # Redo only moves forward: pages already reflect records past
+            # the requested point, and discarding their log would leave
+            # page LSNs dangling beyond the log end. Rewinding is the
+            # as-of machinery's job (read_as_of), not promotion's.
+            raise ReplicationError(
+                f"replica {self.name!r} already applied through "
+                f"{format_lsn(self.applied_lsn)}; cannot promote back to "
+                f"{format_lsn(to_lsn)}"
+            )
+        self._apply_range(to_lsn)
+        self.db.log.discard_after(to_lsn)
+        self.snapshot_pool.clear()
+        self.dropped = True
+        self.db.read_only = False
+        self.db.retention_override_s = None
+        # The receive-time checkpoint anchor may point into the discarded
+        # tail; the boot page of the applied state is the truth now.
+        self.db.invalidate_caches()
+        self.db._load_boot()
+        base = NULL_LSN
+        for lsn, _wall, _prev in checkpoint_chain(self.db):
+            base = lsn
+            break
+        if base == NULL_LSN or base >= to_lsn:
+            base = self.db.log.start_lsn
+        analysis = analyze_log(self.db.log, base)
+        undo_pass(self.db, analysis)
+        self.db.txns.adopt_txn_id_floor(analysis.max_txn_id)
+        self.db.checkpoint()
+        return self.db
+
+    # ------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.dropped:
+            raise ReplicationError(f"replica {self.name!r} was dropped")
+
+    def drop(self) -> None:
+        """Discard the standby and its pooled snapshots."""
+        self.dropped = True
+        self.snapshot_pool.clear()
+        self._delay_queue.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica({self.name!r} of {self.primary.name!r}, "
+            f"applied={format_lsn(self.applied_lsn)}, "
+            f"received={format_lsn(self.received_lsn)}, "
+            f"delay={self.apply_delay_s:.0f}s)"
+        )

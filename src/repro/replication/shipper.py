@@ -1,0 +1,147 @@
+"""Primary-side log shipping: tail the WAL, frame it, stream it.
+
+The :class:`LogShipper` owns one primary database's outbound replication.
+Each subscribed replica has an LSN cursor; :meth:`poll` ships every
+durable byte past each cursor as record-aligned, checksummed
+:class:`~repro.replication.stream.LogFrame` batches. Cursors make the
+stream resumable: a replica that reconnects (or a freshly constructed
+shipper that attaches an existing replica) continues from the replica's
+reported ``received_lsn`` — no state beyond the log itself is needed,
+which is the whole appeal of log-shipping replication.
+
+The shipper also registers a retention pin on the primary: the log below
+the slowest subscriber's cursor is not truncated out from under it (see
+:func:`repro.core.retention.enforce_retention`). A replica that detaches
+releases the pin; if retention then truncates past its cursor, a later
+re-attach fails with :class:`~repro.errors.ReplicationError` and the
+replica must be reseeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReplicationError
+from repro.replication.stream import LogFrame
+from repro.wal.lsn import format_lsn
+
+#: Default frame payload budget. Frames are cut at record boundaries, so a
+#: single oversized record still ships whole.
+DEFAULT_BATCH_BYTES = 256 * 1024
+
+
+@dataclass
+class ShipperStats:
+    """Observable shipping behavior (asserted on by tests/benchmarks)."""
+
+    polls: int = 0
+    frames_shipped: int = 0
+    bytes_shipped: int = 0
+    #: Cursor resyncs from a replica's reported position (reconnects).
+    resyncs: int = 0
+
+
+class _Subscription:
+    __slots__ = ("replica", "cursor")
+
+    def __init__(self, replica, cursor: int) -> None:
+        self.replica = replica
+        self.cursor = cursor
+
+
+class LogShipper:
+    """Streams one primary's committed, durable log to its replicas."""
+
+    def __init__(self, db, *, batch_bytes: int = DEFAULT_BATCH_BYTES) -> None:
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be positive")
+        self.db = db
+        self.batch_bytes = batch_bytes
+        self.stats = ShipperStats()
+        self._subs: dict[str, _Subscription] = {}
+        db.retention_pins.append(self._retention_pin)
+
+    # ------------------------------------------------------------------
+    # Subscriptions
+    # ------------------------------------------------------------------
+
+    def _retention_pin(self) -> int | None:
+        """The oldest LSN any subscriber still needs shipped."""
+        if not self._subs:
+            return None
+        return min(sub.cursor for sub in self._subs.values())
+
+    def attach(self, replica) -> None:
+        """Subscribe ``replica``, resuming from its received-LSN cursor."""
+        cursor = replica.received_lsn
+        if cursor < self.db.log.start_lsn:
+            raise ReplicationError(
+                f"replica {replica.name!r} resumes at {format_lsn(cursor)} "
+                f"but the primary log starts at "
+                f"{format_lsn(self.db.log.start_lsn)}; reseed the replica"
+            )
+        self._subs[replica.name] = _Subscription(replica, cursor)
+
+    def detach(self, name: str) -> None:
+        self._subs.pop(name, None)
+
+    def subscribers(self) -> list[str]:
+        return list(self._subs)
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Ship pending durable bytes to every subscriber.
+
+        Returns the total payload bytes shipped. Only durable log is ever
+        shipped — the volatile tail can still vanish in a crash, and a
+        standby must never hold records its primary can lose.
+        """
+        self.stats.polls += 1
+        log = self.db.log
+        target = log.durable_lsn
+        now = self.db.env.clock.now()
+        total = 0
+        for sub in self._subs.values():
+            reported = sub.replica.received_lsn
+            if reported != sub.cursor:
+                # The replica's position moved under us (restart, manual
+                # reseed): trust the replica, it owns the durable truth.
+                if reported < log.start_lsn:
+                    raise ReplicationError(
+                        f"replica {sub.replica.name!r} resumes at "
+                        f"{format_lsn(reported)}, below the primary's "
+                        f"retained log ({format_lsn(log.start_lsn)})"
+                    )
+                sub.cursor = reported
+                self.stats.resyncs += 1
+            while sub.cursor < target:
+                end = log.record_aligned_end(
+                    sub.cursor, self.batch_bytes, target
+                )
+                if end <= sub.cursor:
+                    break
+                frame = LogFrame(
+                    sub.cursor, log.read_bytes(sub.cursor, end), now
+                )
+                sub.replica.receive(frame.encode())
+                sub.cursor = end
+                self.stats.frames_shipped += 1
+                self.stats.bytes_shipped += len(frame.payload)
+                total += len(frame.payload)
+        return total
+
+    def max_lag_bytes(self) -> int:
+        """Largest unshipped byte count across subscribers."""
+        target = self.db.log.durable_lsn
+        if not self._subs:
+            return 0
+        return max(target - sub.cursor for sub in self._subs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"LogShipper({self.db.name!r}, subscribers={len(self._subs)}, "
+            f"shipped={self.stats.bytes_shipped}B)"
+        )

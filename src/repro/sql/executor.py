@@ -132,32 +132,79 @@ def _expr_name(expr, alias, index) -> str:
 
 
 class Session:
-    """One SQL session against an engine."""
+    """One SQL session against an engine.
+
+    A session can be *pinned* to a point in time (``USE <db> AS OF
+    '<time>'``): unqualified reads then run against one pooled snapshot
+    across statements until the next ``USE`` (or :meth:`close`) releases
+    the lease. Sessions are context managers; use ``with engine.session()
+    as s:`` when pinning, so the lease always unwinds.
+    """
 
     def __init__(self, engine, database: str | None = None) -> None:
         self.engine = engine
         self.current = database
         self.txn = None
+        #: Pinned pooled snapshot and the pool owning its lease.
+        self._pinned = None
+        self._pinned_pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's pinned snapshot lease, if any."""
+        self._unpin()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _unpin(self) -> None:
+        if self._pinned is not None:
+            self._pinned_pool.release(self._pinned)
+            self._pinned = None
+            self._pinned_pool = None
 
     # ------------------------------------------------------------------
     # Target resolution
     # ------------------------------------------------------------------
 
-    def _reader_for(self, ref: TableRef):
-        """Database or snapshot serving reads for ``ref``."""
+    def _reader_for(self, ref: TableRef, *, for_write: bool = False):
+        """Database, snapshot or replica serving reads for ``ref``."""
         name = ref.database or self.current
         if name is None:
             raise SqlExecutionError("no database selected (USE <name>)")
+        if ref.database is None and self._pinned is not None:
+            return self._pinned
         if name in self.engine.databases:
-            return self.engine.databases[name]
+            db = self.engine.databases[name]
+            if not for_write and self.txn is None:
+                replica = self.engine.routing_replica(name)
+                if replica is not None:
+                    return replica.db
+            return db
         if name in self.engine.snapshots:
             return self.engine.snapshots[name]
-        raise SqlExecutionError(f"unknown database or snapshot {name!r}")
+        if name in self.engine.replicas:
+            if for_write:
+                raise SnapshotReadOnlyError("replicas are read-only")
+            return self.engine.replicas[name].db
+        raise SqlExecutionError(
+            f"unknown database, snapshot or replica {name!r}"
+        )
 
     def _writer_for(self, ref: TableRef):
         if ref.as_of is not None:
             raise SnapshotReadOnlyError("AS OF table references are read-only")
-        target = self._reader_for(ref)
+        if ref.database is None and self._pinned is not None:
+            raise SnapshotReadOnlyError(
+                "session is pinned AS OF a past time and is read-only"
+            )
+        target = self._reader_for(ref, for_write=True)
         if ref.database is None and self.current in self.engine.snapshots:
             raise SnapshotReadOnlyError("snapshots are read-only")
         if target not in self.engine.databases.values():
@@ -442,6 +489,10 @@ class Session:
         if stmt.action == "BEGIN":
             if self.txn is not None:
                 raise SqlExecutionError("transaction already open")
+            if self._pinned is not None:
+                raise SqlExecutionError(
+                    "session is pinned AS OF a past time (read-only)"
+                )
             if self.current is None or self.current not in self.engine.databases:
                 raise SqlExecutionError("BEGIN requires a current database")
             self.txn = self.engine.databases[self.current].begin()
@@ -463,10 +514,29 @@ class Session:
         return Result(message=f"CHECKPOINT {lsn:#x}")
 
     def _do_use(self, stmt: Use) -> Result:
-        if stmt.name not in self.engine.databases and stmt.name not in self.engine.snapshots:
-            raise SqlExecutionError(f"unknown database or snapshot {stmt.name!r}")
+        known = (
+            stmt.name in self.engine.databases
+            or stmt.name in self.engine.snapshots
+            or stmt.name in self.engine.replicas
+        )
+        if not known:
+            raise SqlExecutionError(
+                f"unknown database, snapshot or replica {stmt.name!r}"
+            )
+        if stmt.as_of is not None and stmt.name not in self.engine.databases:
+            raise SqlExecutionError(
+                f"USE ... AS OF requires a live database, not {stmt.name!r}"
+            )
+        if self.txn is not None:
+            raise SqlExecutionError("cannot USE while a transaction is open")
+        self._unpin()
         self.current = stmt.name
-        return Result(message=f"USE {stmt.name}")
+        if stmt.as_of is None:
+            return Result(message=f"USE {stmt.name}")
+        self._pinned_pool, self._pinned = self.engine.pin_as_of(
+            stmt.name, stmt.as_of
+        )
+        return Result(message=f"USE {stmt.name} AS OF {stmt.as_of}")
 
     def _do_show(self, stmt: Show) -> Result:
         if stmt.what == "TABLES":

@@ -151,7 +151,15 @@ class Checkpoint:
 
 @dataclass(frozen=True)
 class Use:
+    """``USE <name>`` or ``USE <db> AS OF '<time>'``.
+
+    With ``as_of`` the session pins a pooled point-in-time view of the
+    database: every following unqualified read runs against that one
+    split until the next ``USE`` (or session close) releases it.
+    """
+
     name: str
+    as_of: str | float | None = None
 
 
 @dataclass(frozen=True)
@@ -281,7 +289,11 @@ class Parser:
             return Checkpoint()
         if word == "USE":
             self.advance()
-            return Use(self.expect_ident())
+            name = self.expect_ident()
+            if self.accept_keyword("AS"):
+                self.expect_keyword("OF")
+                return Use(name, as_of=self._parse_as_of_value())
+            return Use(name)
         if word == "SHOW":
             self.advance()
             if self.accept_keyword("TABLES"):

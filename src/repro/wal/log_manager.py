@@ -21,14 +21,20 @@ from repro.config import SimEnv
 from repro.errors import LogRecordDecodeError, LogTruncatedError, WalError
 from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
 from repro.wal.records import (
+    HEADER_SIZE,
     LOG_HEADER_MAGIC,
     ClrRecord,
     CommitRecord,
     LogRecord,
     PageImageRecord,
     PreformatPageRecord,
+    RecordType,
     decode_record,
 )
+
+#: Wire discriminators for ingest's header-only frame scan.
+_COMMIT_TYPE = int(RecordType.COMMIT)
+_CHECKPOINT_BEGIN_TYPE = int(RecordType.CHECKPOINT_BEGIN)
 
 
 class LogManager:
@@ -186,6 +192,127 @@ class LogManager:
     def undo_fetch(self, lsn: int) -> LogRecord:
         """``read`` bound for undo paths: counted as an undo log access."""
         return self.read(lsn, for_undo=True)
+
+    # ------------------------------------------------------------------
+    # Raw byte access (log shipping)
+    # ------------------------------------------------------------------
+
+    def read_bytes(self, from_lsn: int, to_lsn: int) -> bytes:
+        """Raw log bytes ``[from_lsn, to_lsn)`` (the log-shipping read path).
+
+        Charged like a sequential scan: one block read per block the range
+        crosses, served from the block cache when possible. Callers are
+        responsible for record alignment (:meth:`record_aligned_end`).
+        """
+        if from_lsn >= to_lsn:
+            return b""
+        self._check_readable(from_lsn)
+        if to_lsn > self.end_lsn:
+            raise WalError(
+                f"read_bytes end {format_lsn(to_lsn)} beyond log end "
+                f"{format_lsn(self.end_lsn)}"
+            )
+        block = (from_lsn // self.block_size) * self.block_size
+        while block < to_lsn:
+            self._touch_block(max(block, from_lsn), sequential=True, undo=False)
+            block += self.block_size
+        return bytes(self._data[from_lsn - self._base : to_lsn - self._base])
+
+    def record_aligned_end(
+        self, from_lsn: int, max_bytes: int, limit_lsn: int | None = None
+    ) -> int:
+        """Largest record boundary in ``(from_lsn, limit_lsn]`` within
+        ``max_bytes`` of ``from_lsn``.
+
+        Walks record headers only (each starts with its u32 total length),
+        so a shipper can frame batches without decoding bodies. Returns
+        ``from_lsn`` when not even one record fits the budget — the caller
+        must then grow the budget rather than ship a torn record.
+        """
+        self._check_readable(from_lsn)
+        limit = self.end_lsn if limit_lsn is None else min(limit_lsn, self.end_lsn)
+        end = from_lsn
+        while end < limit:
+            offset = end - self._base
+            total = int.from_bytes(self._data[offset : offset + 4], "little")
+            if total < HEADER_SIZE or end + total > limit:
+                break
+            if end + total - from_lsn > max_bytes and end > from_lsn:
+                break
+            end += total
+        return end
+
+    def ingest(self, start_lsn: int, data: bytes) -> int:
+        """Land shipped log bytes on a standby's log (durable immediately).
+
+        ``start_lsn`` must equal :attr:`end_lsn` — shipped frames arrive in
+        order with no gaps (the shipper resumes from the standby's cursor).
+        The bytes are validated to decode as whole records, the last-commit
+        tracker is advanced, and one sequential log write is charged (the
+        standby lands the stream the same way the primary flushed it).
+
+        Returns the LSN of the newest checkpoint-begin record in the
+        frame (``NULL_LSN`` if none): a standby needs a checkpoint-chain
+        anchor for SplitLSN search *before* any page state exists, and the
+        chain is read from the log, not from pages.
+        """
+        if start_lsn != self.end_lsn:
+            raise WalError(
+                f"ingest at {format_lsn(start_lsn)} does not continue the "
+                f"log (end is {format_lsn(self.end_lsn)})"
+            )
+        if not data:
+            return NULL_LSN
+        # Header walk: reject torn frames before mutating any state.
+        offset = 0
+        last_commit = NULL_LSN
+        last_checkpoint = NULL_LSN
+        while offset < len(data):
+            if offset + HEADER_SIZE > len(data):
+                raise LogRecordDecodeError(
+                    f"ingest frame ends mid-header at byte {offset}"
+                )
+            total = int.from_bytes(data[offset : offset + 4], "little")
+            if total < HEADER_SIZE or offset + total > len(data):
+                raise LogRecordDecodeError(
+                    f"ingest frame ends mid-record at byte {offset}"
+                )
+            rtype = data[offset + 4]
+            if rtype == _COMMIT_TYPE:
+                last_commit = start_lsn + offset
+            elif rtype == _CHECKPOINT_BEGIN_TYPE:
+                last_checkpoint = start_lsn + offset
+            offset += total
+        self._data += data
+        self._durable_end = self.end_lsn
+        if last_commit != NULL_LSN:
+            self._last_commit_lsn = last_commit
+        self.env.log_device.write_seq_async(len(data))
+        self.env.stats.log_flushes += 1
+        self.env.stats.log_write_bytes += len(data)
+        return last_checkpoint
+
+    def discard_after(self, lsn: int) -> None:
+        """Throw away all records with LSN >= ``lsn`` (standby promotion).
+
+        Point-in-time promotion of a replica stops applying at a SplitLSN
+        and continues the timeline from there; shipped-but-unwanted records
+        beyond the split must vanish so new writes append at the split.
+        Only meaningful on a standby log — a primary never unwrites
+        durable records.
+        """
+        if lsn > self.end_lsn:
+            return
+        if lsn < self._truncated_before:
+            raise WalError(
+                f"cannot discard from {format_lsn(lsn)}: below the "
+                f"retention horizon {format_lsn(self._truncated_before)}"
+            )
+        del self._data[lsn - self._base :]
+        self._durable_end = min(self._durable_end, lsn)
+        self._cache.clear()
+        if self._last_commit_lsn >= lsn:
+            self._last_commit_lsn = NULL_LSN
 
     # ------------------------------------------------------------------
     # Sequential scans (recovery, SplitLSN search, roll-forward)

@@ -73,6 +73,15 @@ class TpccDriver:
         checkpoint_interval_s: float | None = None,
         #: Simulated per-transaction think/parse overhead.
         think_time_s: float = 0.0,
+        #: Read-offload target for the mix's read-only procedures
+        #: (order-status, stock-level): anything speaking the reader
+        #: protocol — a :class:`~repro.replication.replica.Replica`, its
+        #: database, or a snapshot. ``None`` keeps reads on the primary.
+        read_reader=None,
+        #: Called once per transaction (e.g.
+        #: ``engine.replication_tick``) — the simulated stand-in for the
+        #: shipper/apply daemons running alongside the workload.
+        pump=None,
     ) -> None:
         self.db = db
         self.scale = scale
@@ -80,6 +89,8 @@ class TpccDriver:
         self.mix = tuple(mix)
         self.checkpointer = Checkpointer(db, checkpoint_interval_s)
         self.think_time_s = think_time_s
+        self.read_reader = read_reader
+        self.pump = pump
         self._history_seq = 0
         self._weights = [weight for _name, weight in self.mix]
         self._names = [name for name, _weight in self.mix]
@@ -96,13 +107,13 @@ class TpccDriver:
             self._history_seq += 1
             payment(self.db, self.rng, self.scale, self._history_seq)
         elif kind == "order_status":
-            order_status(self.db, self.rng, self.scale)
+            order_status(self._read_target(), self.rng, self.scale)
         elif kind == "delivery":
             delivery(self.db, self.rng, self.scale)
         elif kind == "stock_level":
             w_id = self.rng.randint(1, self.scale.warehouses)
             d_id = self.rng.randint(1, self.scale.districts_per_warehouse)
-            stock_level(self.db, w_id, d_id, threshold=60)
+            stock_level(self._read_target(), w_id, d_id, threshold=60)
         result.transactions += 1
         if committed:
             result.committed += 1
@@ -110,6 +121,12 @@ class TpccDriver:
             result.rolled_back += 1
         if self.checkpointer.tick():
             result.checkpoints += 1
+        if self.pump is not None:
+            self.pump()
+
+    def _read_target(self):
+        """Where the mix's read-only procedures run (primary or standby)."""
+        return self.read_reader if self.read_reader is not None else self.db
 
     def run_transactions(self, count: int) -> TpccResult:
         """Run exactly ``count`` transactions of the mix."""
