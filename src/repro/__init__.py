@@ -28,6 +28,7 @@ Quickstart::
     rows = list(snap.scan("items"))              # the table is back
 """
 
+from repro.archive import ArchiveStore, IncrementalBackup, LogArchiver
 from repro.catalog.schema import Column, ColumnType, TableSchema
 from repro.config import CostModel, DatabaseConfig, LoggingExtensions, SimEnv
 from repro.core.asof import AsOfSnapshot
@@ -36,6 +37,7 @@ from repro.core.split_lsn import find_split_lsn
 from repro.engine.database import Database, Table
 from repro.engine.engine import Engine
 from repro.errors import (
+    ArchiveError,
     DeadlockError,
     DuplicateKeyError,
     KeyNotFoundError,
@@ -75,8 +77,12 @@ __all__ = [
     "find_split_lsn",
     "Replica",
     "LogShipper",
+    "ArchiveStore",
+    "LogArchiver",
+    "IncrementalBackup",
     "ReproError",
     "ReplicationError",
+    "ArchiveError",
     "RetentionExceededError",
     "MissingUndoInfoError",
     "LogTruncatedError",

@@ -25,6 +25,9 @@ class FullBackup:
     backup_lsn: int
     taken_wall: float
     pages: dict[int, bytes] = field(default_factory=dict, repr=False)
+    #: Source database configuration, so an archive restore can rebuild a
+    #: shell even when the source database no longer exists.
+    config: object | None = field(default=None, repr=False)
 
     @property
     def size_bytes(self) -> int:
@@ -37,12 +40,14 @@ class FullBackup:
         )
 
 
-def take_full_backup(db) -> FullBackup:
+def take_full_backup(db, *, charge_media: bool = True) -> FullBackup:
     """Take a full backup of ``db``.
 
     Checkpoints first (making the on-disk state consistent with
     ``backup_lsn``), then streams every allocated page out and the backup
-    copy in.
+    copy in. ``charge_media=False`` skips the backup-media write charge —
+    used when the caller lands the backup on its own priced medium (the
+    archive store), which would otherwise be billed twice.
     """
     backup_lsn = db.checkpoint()
     page_ids = db.alloc.allocated_page_ids()
@@ -51,11 +56,13 @@ def take_full_backup(db) -> FullBackup:
         page_size=db.config.page_size,
         backup_lsn=backup_lsn,
         taken_wall=db.env.clock.now(),
+        config=db.config,
     )
     pages = db.file_manager.read_sequential(page_ids)
     for page_id, data in zip(page_ids, pages):
         backup.pages[page_id] = bytes(data)
     # Writing the backup media is a sequential stream of the same volume.
-    db.env.data_device.write_seq(backup.size_bytes)
-    db.env.stats.backup_write_bytes += backup.size_bytes
+    if charge_media:
+        db.env.data_device.write_seq(backup.size_bytes)
+        db.env.stats.backup_write_bytes += backup.size_bytes
     return backup

@@ -8,6 +8,12 @@ Every step's cost is charged (sequential page copy, sequential log scan,
 random page fetches during redo), so the restore curve in Figures 7/8 —
 flat with respect to the target time, huge with respect to the data
 needed — emerges from the same accounting as the as-of numbers.
+
+The building blocks (:func:`init_restored_shell`, :func:`roll_forward`,
+:func:`undo_in_flight`) are shared with the archive tier's restore
+planner (:mod:`repro.archive.restore`), which runs the same recipe
+against an *archived* log + incremental backup chain instead of the
+primary's retained log.
 """
 
 from __future__ import annotations
@@ -40,6 +46,53 @@ class _RestoreUndoContext:
         self.tree_for_object = restored.tree_for_object
 
 
+def roll_forward(restored: Database, log, from_lsn: int, split: int) -> int:
+    """Replay ``log``'s page modifications in ``[from_lsn, split]`` onto
+    ``restored``, gated by each page's pageLSN; returns records replayed.
+
+    A format record is the first record of a page's (new) incarnation and
+    erases whatever was there, so its redo never needs to read the
+    restored file — pages born after the backup cost no I/O to
+    materialize.
+    """
+    replayed = 0
+    for rec in log.scan(from_lsn, split + 1):
+        if not rec.IS_PAGE_MOD:
+            continue
+        create = isinstance(rec, FormatPageRecord)
+        with restored.fetch_page(rec.page_id, create=create) as guard:
+            page = guard.page
+            if page.is_formatted() and page.page_lsn >= rec.lsn:
+                continue
+            rec.redo(page, fetch=log.undo_fetch)
+            page.page_lsn = rec.lsn
+            if isinstance(rec, PageImageRecord):
+                page.last_image_lsn = rec.lsn
+            guard.mark_dirty()
+        restored.env.charge_cpu(restored.env.cost.redo_record_cpu_s)
+        replayed += 1
+    return replayed
+
+
+def undo_in_flight(restored: Database, log, base: int, split: int) -> int:
+    """Undo transactions in flight at ``split`` (standard restore undo).
+
+    ``base`` is a checkpoint LSN at or before ``split`` (or the oldest
+    covered LSN when no checkpoint qualifies) — the analysis scan starts
+    there. Returns the number of transactions rolled back.
+    """
+    analysis = analyze_log(log, base, split + 1)
+    ctx = _RestoreUndoContext(restored, log)
+    undo = LogicalUndo(ctx)
+    for txn_id, last_lsn in sorted(
+        analysis.losers.items(), key=lambda item: item[1], reverse=True
+    ):
+        loser = RecoveredTransaction(txn_id)
+        loser.last_lsn = last_lsn
+        undo.rollback_chain(loser, last_lsn)
+    return len(analysis.losers)
+
+
 def restore_point_in_time(
     engine,
     backup: FullBackup,
@@ -68,35 +121,17 @@ def restore_point_in_time(
         )
 
     # 1. Lay the backup pages down as the new database files.
-    datafile = MemoryDataFile(backup.page_size)
-    restored = Database.__new__(Database)
-    _init_restored_shell(restored, engine, new_name, backup, datafile, source_db)
+    restored = init_restored_shell(
+        engine, new_name, source_db.config, backup.backup_lsn
+    )
     restored.file_manager.write_sequential(backup.pages)
     restored._load_boot()
 
     # 2. Roll forward: replay the source log from the backup LSN to the
-    #    split, gated by each page's pageLSN. A format record is the first
-    #    record of a page's (new) incarnation and erases whatever was
-    #    there, so its redo never needs to read the restored file — pages
-    #    born after the backup cost no I/O to materialize.
-    replayed = 0
-    for rec in log.scan(backup.backup_lsn, split + 1):
-        if not rec.IS_PAGE_MOD:
-            continue
-        create = isinstance(rec, FormatPageRecord)
-        with restored.fetch_page(rec.page_id, create=create) as guard:
-            page = guard.page
-            if page.is_formatted() and page.page_lsn >= rec.lsn:
-                continue
-            rec.redo(page, fetch=log.undo_fetch)
-            page.page_lsn = rec.lsn
-            if isinstance(rec, PageImageRecord):
-                page.last_image_lsn = rec.lsn
-            guard.mark_dirty()
-        restored.env.charge_cpu(restored.env.cost.redo_record_cpu_s)
-        replayed += 1
+    #    split.
+    roll_forward(restored, log, backup.backup_lsn, split)
 
-    # 3. Undo transactions in flight at the split (standard restore undo).
+    # 3. Undo transactions in flight at the split.
     base = NULL_LSN
     for lsn, _wall, _prev in checkpoint_chain(source_db):
         if lsn <= split:
@@ -104,15 +139,7 @@ def restore_point_in_time(
             break
     if base == NULL_LSN:
         base = max(backup.backup_lsn, log.start_lsn)
-    analysis = analyze_log(log, base, split + 1)
-    ctx = _RestoreUndoContext(restored, log)
-    undo = LogicalUndo(ctx)
-    for txn_id, last_lsn in sorted(
-        analysis.losers.items(), key=lambda item: item[1], reverse=True
-    ):
-        loser = RecoveredTransaction(txn_id)
-        loser.last_lsn = last_lsn
-        undo.rollback_chain(loser, last_lsn)
+    undo_in_flight(restored, log, base, split)
 
     # Initialization of the unused log portion: the restored database's
     # log file spans the full retained range, and the part past the
@@ -129,15 +156,8 @@ def restore_point_in_time(
     return restored
 
 
-def _init_restored_shell(
-    restored: Database,
-    engine,
-    name: str,
-    backup: FullBackup,
-    datafile,
-    source_db: Database,
-) -> None:
-    """Hand-assemble a Database around existing page content.
+def init_restored_shell(engine, name: str, config, backup_lsn: int) -> Database:
+    """Hand-assemble a Database shell ready to adopt backup page content.
 
     ``Database.__init__`` would bootstrap a fresh catalog; a restore must
     adopt the backup's pages instead, so the shell is wired field by field
@@ -153,25 +173,27 @@ def _init_restored_shell(
     from repro.wal.apply import PageModifier
     from repro.wal.log_manager import LogManager
 
+    restored = Database.__new__(Database)
+    datafile = MemoryDataFile(config.page_size)
     restored.name = name
-    restored.config = source_db.config
+    restored.config = config
     restored.env = engine.env
     restored.file_manager = FileManager(datafile, engine.env.data_device, engine.env.stats)
     restored.log = LogManager(
         engine.env,
-        block_size=restored.config.log_block_size,
-        cache_blocks=restored.config.log_cache_blocks,
+        block_size=config.log_block_size,
+        cache_blocks=config.log_cache_blocks,
     )
     restored.buffer = BufferPool(
         restored.file_manager,
-        restored.config.buffer_pool_pages,
+        config.buffer_pool_pages,
         engine.env.stats,
         restored.log,
     )
     restored.locks = LockManager()
     restored.txns = TransactionManager(engine.env, restored.log, restored.locks)
     restored.txns.undo_context = restored
-    restored.modifier = PageModifier(restored.log, restored.config.extensions, engine.env)
+    restored.modifier = PageModifier(restored.log, config.extensions, engine.env)
     restored.alloc = AllocationManager(restored.buffer, restored.modifier, restored.run_system_txn)
     restored.services = BTreeServices(
         env=engine.env,
@@ -182,8 +204,11 @@ def _init_restored_shell(
     )
     restored.catalog = Catalog(restored.services)
     restored.read_only = False
-    restored.last_checkpoint_lsn = backup.backup_lsn
+    restored.last_checkpoint_lsn = backup_lsn
     restored._boot_cache = None
     restored._table_cache = {}
     restored._tree_cache = {}
     restored.snapshots = {}
+    restored.retention_pins = []
+    restored.retention_override_s = None
+    return restored

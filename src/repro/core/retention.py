@@ -25,9 +25,13 @@ def enforce_retention(db) -> int:
 
     Besides the wall-clock horizon, the oldest active transaction and the
     last checkpoint, enforcement consults the database's registered
-    retention pins — pooled as-of splits and log-shipping cursors — so a
-    live pooled snapshot or a lagging standby never has the log truncated
-    out from under it.
+    retention pins — pooled as-of splits and log-shipping cursors (which
+    cover both lagging standbys and the archive tier's
+    :class:`~repro.archive.archiver.LogArchiver`, whose cursor advances
+    only once a segment is durably archived) — so a live pooled snapshot,
+    a lagging standby, or not-yet-archived log never has the log
+    truncated out from under it. A detached subscriber releases its pin
+    and truncation resumes.
     """
     horizon_wall = retention_horizon(db)
     keep_lsn = NULL_LSN

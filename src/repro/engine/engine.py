@@ -9,15 +9,28 @@ from typing import TYPE_CHECKING, Iterator
 
 from repro.config import DatabaseConfig, SimEnv
 from repro.engine.database import Database
-from repro.errors import CatalogError, SnapshotError
+from repro.errors import CatalogError, RetentionExceededError, SnapshotError
 from repro.sim.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.archive.archiver import LogArchiver
     from repro.core.asof import AsOfSnapshot
     from repro.core.snapshot_pool import SnapshotPool
     from repro.replication.replica import Replica
     from repro.replication.shipper import LogShipper
     from repro.snapshot.base import RegularSnapshot
+
+
+class _ArchiveLeases:
+    """Lease-shaped no-op pool for archive-backed as-of readers.
+
+    The archive fallback serves whole restored database copies cached by
+    the engine, not pooled snapshots — releasing the "lease" is a no-op,
+    the engine's small per-database cache owns the copies' lifetime.
+    """
+
+    def release(self, snapshot) -> None:
+        return
 
 
 class Engine:
@@ -51,6 +64,14 @@ class Engine:
         self.replicas: dict[str, "Replica"] = {}
         #: One outbound log shipper per primary database name.
         self._shippers: dict[str, "LogShipper"] = {}
+        #: One log archiver per archived database name (see
+        #: :mod:`repro.archive`). Entries outlive their database: the
+        #: archive can still restore a dropped database's history.
+        self.archives: dict[str, "LogArchiver"] = {}
+        #: Archive-backed as-of readers: db name -> [(split_lsn, copy)],
+        #: LRU-bounded (the ``query_as_of`` past-retention fallback).
+        self._archive_reads: dict[str, list] = {}
+        self._archive_leases = _ArchiveLeases()
         #: Route read-only SQL SELECTs to caught-up replicas when enabled.
         self.read_offload = False
         #: A replica is routable for current reads only within this lag.
@@ -70,6 +91,11 @@ class Engine:
 
     def create_database(self, name: str, config: DatabaseConfig | None = None) -> Database:
         self._check_name_free(name)
+        # A dropped namesake's archive must not serve (or absorb) the new
+        # incarnation's history: its LSN space is unrelated. Reusing the
+        # name forfeits the old incarnation's archived restorability.
+        self.archives.pop(name, None)
+        self._archive_reads.pop(name, None)
         db = Database(name, config or self.default_config, self.env)
         self._register_pool_pin(db)
         self.databases[name] = db
@@ -95,6 +121,11 @@ class Engine:
             n for n, r in self.replicas.items() if r.primary is db
         ]:
             self.drop_replica(replica_name)
+        archiver = self.archives.get(name)
+        if archiver is not None and not archiver.closed:
+            # Capture the durable tail, then stop following the primary.
+            archiver.poll()
+            archiver.close()
         self._shippers.pop(name, None)
         self.snapshot_pool.purge_database(name)
         del self.databases[name]
@@ -129,7 +160,10 @@ class Engine:
         if snap_name in self.snapshots or snap_name in self.databases:
             raise SnapshotError(f"name {snap_name!r} already in use")
         db = self.database(db_name)
-        snap = AsOfSnapshot.create(db, snap_name, self.resolve_as_of(as_of))
+        try:
+            snap = AsOfSnapshot.create(db, snap_name, self.resolve_as_of(as_of))
+        except RetentionExceededError as err:
+            raise self._retention_error(db_name, err) from err
         self.snapshots[snap_name] = snap
         db.snapshots[snap_name] = snap
         return snap
@@ -180,14 +214,20 @@ class Engine:
         apply_delay_s: float = 0.0,
         apply_slots: int = 4,
         config: DatabaseConfig | None = None,
+        seed_from_backup: bool = False,
     ) -> "Replica":
         """Create a warm standby of ``db_name`` and start shipping to it.
 
-        The replica is seeded by replaying the primary's log from its very
-        first record, so the primary's log must not have been truncated
-        yet (seed-from-backup is future work). ``apply_delay_s`` holds
-        received frames for that long before applying — the delayed-apply
-        error-recovery window.
+        By default the replica is seeded by replaying the primary's log
+        from its very first record, so the primary's log must not have
+        been truncated yet. With ``seed_from_backup`` the standby instead
+        starts from the archive's newest backup chain: its pages are laid
+        down, any gap between the chain's end and the primary's retained
+        log is filled from archived segments, and the ship stream resumes
+        from the end-of-restore LSN — a standby can attach long after the
+        primary truncated. ``apply_delay_s`` holds received frames for
+        that long before applying — the delayed-apply error-recovery
+        window.
         """
         from repro.errors import ReplicationError
         from repro.replication.replica import Replica
@@ -204,11 +244,12 @@ class Engine:
                 except CatalogError:
                     suffix += 1
         self._check_name_free(name)
-        if db.log.start_lsn != FIRST_LSN:
+        if db.log.start_lsn != FIRST_LSN and not seed_from_backup:
             raise ReplicationError(
                 f"primary {db_name!r} log already truncated at "
                 f"{db.log.start_lsn:#x}; a replica cannot be seeded from "
-                f"the log alone"
+                f"the log alone — use add_replica(seed_from_backup=True) "
+                f"with an archived backup chain"
             )
         replica = Replica(
             db,
@@ -217,9 +258,29 @@ class Engine:
             apply_slots=apply_slots,
             config=config,
         )
-        self.replicas[name] = replica
+        if seed_from_backup:
+            archiver = self.archives.get(db_name)
+            if archiver is None or not archiver.store.backups(db_name):
+                raise ReplicationError(
+                    f"seed_from_backup needs an archived backup of "
+                    f"{db_name!r}: call engine.backup_database({db_name!r}) "
+                    f"(which enables archiving) first"
+                )
+            archiver.poll()
+            store = archiver.store
+            chain = store.newest_chain(db_name)
+            replica.seed(store.read_backup_pages(chain), chain[-1].backup_lsn)
+            # Fill the gap between the chain's end and whatever the
+            # primary still retains from archived segments; the shipper
+            # takes over at the archive's edge.
+            for blob in store.frames_from(db_name, replica.received_lsn):
+                replica.receive(blob)
         shipper = self.shipper_for(db_name)
+        # Attach before registering: if the stream cannot resume (a stale
+        # chain whose end the primary no longer retains), the engine must
+        # not be left tracking a dead, never-attached standby.
         shipper.attach(replica)
+        self.replicas[name] = replica
         shipper.poll()
         replica.apply_ready()
         return replica
@@ -307,6 +368,208 @@ class Engine:
             self.read_offload_max_lag_bytes = max_lag_bytes
 
     # ------------------------------------------------------------------
+    # Archive tier (continuous log archiving + backup chains)
+    # ------------------------------------------------------------------
+
+    def enable_archiving(
+        self,
+        db_name: str,
+        *,
+        store=None,
+        directory: str | None = None,
+        profile=None,
+    ) -> "LogArchiver":
+        """Start continuously archiving ``db_name``'s log.
+
+        The archiver subscribes to the database's log shipper, so every
+        ``replication_tick`` (or explicit ``poll``) moves durable log into
+        the archive *before* retention can truncate it — the subscription
+        cursor pins the log until each segment is durably archived.
+        ``store`` reuses an existing :class:`~repro.archive.store
+        .ArchiveStore`; otherwise one is created (``directory`` persists
+        segments as real files, ``profile`` prices the archive media).
+        """
+        from repro.archive.archiver import LogArchiver
+        from repro.archive.store import ArchiveStore
+        from repro.errors import ArchiveError
+
+        existing = self.archives.get(db_name)
+        if existing is not None and not existing.closed:
+            # Idempotent re-enable is fine; a *different* requested store
+            # configuration is not.
+            same_store = store is None or store is existing.store
+            same_dir = directory is None or directory == existing.store.directory
+            same_profile = (
+                profile is None or profile is existing.store.device.profile
+            )
+            if not (same_store and same_dir and same_profile):
+                raise ArchiveError(
+                    f"archiving is already enabled for {db_name!r} with a "
+                    f"different store configuration; disable_archiving first"
+                )
+            return existing
+        db = self.database(db_name)
+        if store is None:
+            # Resume the previous store only when no explicit store
+            # configuration was requested; silently dropping a directory/
+            # profile argument would fake persistence the caller asked for.
+            if existing is not None and directory is None and profile is None:
+                store = existing.store
+            else:
+                store = ArchiveStore(self.env, directory=directory, profile=profile)
+        archiver = LogArchiver(db, store, self.shipper_for(db_name))
+        self.archives[db_name] = archiver
+        archiver.poll()
+        return archiver
+
+    def disable_archiving(self, db_name: str) -> None:
+        """Stop archiving ``db_name`` (its retention hold is released).
+
+        The archive store itself is kept: already-archived history stays
+        restorable, and re-enabling resumes at the archive's edge.
+        """
+        archiver = self.archives.get(db_name)
+        if archiver is not None and not archiver.closed:
+            archiver.poll()
+            archiver.close()
+
+    def backup_database(self, db_name: str, *, full: bool = False):
+        """``BACKUP DATABASE``: archive a backup chained onto the newest.
+
+        The first backup of a database is always full; later ones copy
+        only pages modified since the chain's last member (``full=True``
+        forces a new full baseline). Enables archiving implicitly — a
+        backup chain without the log to roll it forward is not
+        restorable to arbitrary points.
+        """
+        from repro.archive.backup import take_incremental_backup
+        from repro.backup.backup import take_full_backup
+
+        archiver = self.enable_archiving(db_name)
+        db = self.database(db_name)
+        chain = archiver.store.newest_chain(db_name)
+        # The backup media here IS the archive store (put_backup charges
+        # the archive device), so the generic backup-media charge is off.
+        if full or not chain:
+            backup = take_full_backup(db, charge_media=False)
+        else:
+            backup = take_incremental_backup(db, chain[-1], charge_media=False)
+        archiver.store.put_backup(backup)
+        # The backup's checkpoint records are in the log now; archive
+        # them promptly so the chain is immediately restorable.
+        archiver.poll()
+        return backup
+
+    def restore_from_archive(
+        self, db_name: str, as_of, new_name: str | None = None
+    ) -> Database:
+        """Materialize ``db_name`` as of ``as_of`` from the archive.
+
+        Works for any time the archive covers — including times older
+        than the primary's retention horizon, and databases that no
+        longer exist. Returns a read-only database registered under
+        ``new_name`` (default ``<db>_restored<N>``).
+        """
+        from repro.archive.restore import restore_from_archive
+        from repro.errors import ArchiveError
+
+        archiver = self.archives.get(db_name)
+        if archiver is None:
+            raise ArchiveError(
+                f"no archive for {db_name!r}: call "
+                f"engine.backup_database({db_name!r}) (or enable_archiving) "
+                f"while the history you need is still retained"
+            )
+        if not archiver.closed:
+            archiver.poll()
+        if new_name is None:
+            suffix = 1
+            while True:
+                new_name = f"{db_name}_restored{suffix}"
+                try:
+                    self._check_name_free(new_name)
+                    break
+                except CatalogError:
+                    suffix += 1
+        self._check_name_free(new_name)
+        return restore_from_archive(
+            self, archiver.store, db_name, self.resolve_as_of(as_of), new_name
+        )
+
+    def _retention_error(
+        self, db_name: str, err, archive_failure=None
+    ) -> RetentionExceededError:
+        """Rebuild a retention failure so it names the ways out.
+
+        ``archive_failure`` is the exception an attempted archive fallback
+        died with — recommending ``restore_from_archive`` would then be a
+        dead end, so the actual cause is surfaced instead.
+        """
+        if archive_failure is not None:
+            archive_part = (
+                f"the archive could not serve this time ({archive_failure})"
+            )
+        elif db_name in self.archives:
+            archive_part = (
+                f"restore from the archive (engine.restore_from_archive"
+                f"({db_name!r}, t))"
+            )
+        else:
+            archive_part = (
+                f"an archive restore (engine.backup_database({db_name!r}) "
+                f"ahead of time, then engine.restore_from_archive)"
+            )
+        return RetentionExceededError(
+            f"{err}; options past the retention horizon: {archive_part}"
+            f" or a delayed-apply replica (engine.add_replica({db_name!r}, "
+            f"apply_delay_s=...), then read_as_of/promote within its window)"
+        )
+
+    def _archive_fallback_reader(self, db_name: str, wall: float, err):
+        """An archive-backed read-only copy covering ``wall``, or raise.
+
+        Backs ``query_as_of``/``pin_as_of`` once the pool's split crosses
+        the retention horizon: the engine keeps a tiny LRU of restored
+        copies keyed by SplitLSN, so repeated reads at one past time pay
+        for one restore. Raises the enriched retention error when no
+        archive can serve the time.
+        """
+        from repro.errors import ArchiveError, BackupError
+
+        archive_failure = None
+        archiver = self.archives.get(db_name)
+        if archiver is not None:
+            try:
+                if not archiver.closed:
+                    archiver.poll()
+                from repro.archive.restore import plan_restore, restore_from_archive
+
+                # One plan serves both the cache key (its SplitLSN) and,
+                # on a miss, the restore itself.
+                plan = plan_restore(archiver.store, db_name, wall)
+                split = plan.split_lsn
+                cached = self._archive_reads.setdefault(db_name, [])
+                for index, (cached_split, reader) in enumerate(cached):
+                    if cached_split == split:
+                        cached.append(cached.pop(index))
+                        return reader
+                reader = restore_from_archive(
+                    self,
+                    archiver.store,
+                    db_name,
+                    wall,
+                    f"~archive:{db_name}@{split:#x}",
+                    register=False,
+                    plan=plan,
+                )
+                cached.append((split, reader))
+                del cached[:-2]
+                return reader
+            except (ArchiveError, BackupError, RetentionExceededError) as caught:
+                archive_failure = caught
+        raise self._retention_error(db_name, err, archive_failure) from err
+
+    # ------------------------------------------------------------------
     # Inline point-in-time reads (pooled ephemeral snapshots)
     # ------------------------------------------------------------------
 
@@ -336,18 +599,26 @@ class Engine:
 
         Prefers a caught-up standby's pool (read scale-out: the primary's
         media never sees the snapshot's page preparation); falls back to
-        the engine pool over the primary. Callers must release the
+        the engine pool over the primary. When the requested time lies
+        past the retention horizon and the database is archived, the
+        lease is an archive-backed read-only copy instead (released as a
+        no-op — the engine caches those copies). Callers must release the
         snapshot back to the returned pool (``USE ... AS OF`` sessions
         hold the lease across statements; :meth:`query_as_of` scopes it).
         """
         wall = self.resolve_as_of(as_of)
-        replica = self._route_as_of(db_name, wall)
-        if replica is not None:
-            return replica.snapshot_pool, replica.snapshot_pool.acquire(
-                replica.db, wall
+        try:
+            replica = self._route_as_of(db_name, wall)
+            if replica is not None:
+                return replica.snapshot_pool, replica.snapshot_pool.acquire(
+                    replica.db, wall
+                )
+            db = self.database(db_name)
+            return self.snapshot_pool, self.snapshot_pool.acquire(db, wall)
+        except RetentionExceededError as err:
+            return self._archive_leases, self._archive_fallback_reader(
+                db_name, wall, err
             )
-        db = self.database(db_name)
-        return self.snapshot_pool, self.snapshot_pool.acquire(db, wall)
 
     @contextmanager
     def query_as_of(
@@ -360,6 +631,9 @@ class Engine:
         queries at the same point in time share one snapshot and its
         already-prepared pages. When a caught-up standby exists the lease
         comes from *its* pool, offloading the point-in-time read entirely.
+        A time past the retention horizon is served from an archive-backed
+        restored copy when the database is archived (the yielded reader is
+        then a read-only :class:`~repro.engine.database.Database`).
         ``replica`` forces a specific standby (the delayed-recovery path:
         it applies forward as needed to cover ``as_of``). ``as_of``
         accepts simulated seconds, a :class:`datetime.datetime`, or an ISO

@@ -125,6 +125,16 @@ class BackupError(ReproError):
     """Backup/restore failure (missing log range, bad backup chain)."""
 
 
+class ArchiveError(ReproError):
+    """Archive-tier failure.
+
+    Raised when archived log segments would leave a gap (the archiver's
+    cursor and the store's coverage disagree), when a restore target is
+    not covered by any archived backup chain + log range, or when an
+    archive operation is attempted on a database with no archive enabled.
+    """
+
+
 class RecoveryError(ReproError):
     """ARIES recovery could not complete (missing log, bad checkpoint)."""
 

@@ -101,6 +101,35 @@ class Replica:
         self.dropped = False
 
     # ------------------------------------------------------------------
+    # Seeding (backup-seeded standbys; see the engine's archive tier)
+    # ------------------------------------------------------------------
+
+    def seed(self, pages: dict[int, bytes], seed_lsn: int) -> None:
+        """Adopt a backup chain's pages as this standby's initial state.
+
+        Instead of replaying the primary's log from its very first record
+        — impossible once the primary has truncated — the standby starts
+        from a restored backup chain: its pages are laid down, its log is
+        rebased to start at ``seed_lsn`` (the chain's last checkpoint
+        LSN), and shipping resumes from there. Must run before any frame
+        has been received.
+        """
+        if self.applied_lsn != FIRST_LSN or self.stats.frames_received:
+            raise ReplicationError(
+                f"replica {self.name!r} already has shipped state; seed "
+                f"before attaching it to a shipper"
+            )
+        self.db.file_manager.write_sequential(pages)
+        self.db.log.open_at(seed_lsn)
+        self.applied_lsn = seed_lsn
+        self.db.invalidate_caches()
+        self.db._load_boot()
+        # The backup's boot page names the checkpoint the chain is
+        # consistent with — the SplitLSN search anchor until newer
+        # checkpoints arrive through the stream.
+        self._newest_ckpt_lsn = self.db.last_checkpoint_lsn
+
+    # ------------------------------------------------------------------
     # Receive (the shipper calls this)
     # ------------------------------------------------------------------
 

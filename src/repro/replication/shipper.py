@@ -14,7 +14,11 @@ the slowest subscriber's cursor is not truncated out from under it (see
 :func:`repro.core.retention.enforce_retention`). A replica that detaches
 releases the pin; if retention then truncates past its cursor, a later
 re-attach fails with :class:`~repro.errors.ReplicationError` and the
-replica must be reseeded.
+replica must be reseeded (``add_replica(seed_from_backup=True)`` when an
+archived backup chain exists). Subscribers need not be replicas: the
+archive tier's :class:`~repro.archive.archiver.LogArchiver` consumes the
+same stream, and its cursor-pin is what guarantees log is archived
+*before* retention drops it.
 """
 
 from __future__ import annotations

@@ -63,6 +63,11 @@ class IoStats:
     backup_read_bytes: int = 0
     backup_write_bytes: int = 0
 
+    # Archive-tier traffic (continuous log archiving + backup chains).
+    archive_write_bytes: int = 0
+    archive_read_bytes: int = 0
+    archive_segments_written: int = 0
+
     # Engine activity.
     transactions_committed: int = 0
     transactions_aborted: int = 0

@@ -25,6 +25,7 @@ from repro.errors import (
 from repro.sql.parser import (
     Aggregate,
     AlterUndoInterval,
+    BackupDatabase,
     Binary,
     Checkpoint,
     ColumnRef,
@@ -37,6 +38,7 @@ from repro.sql.parser import (
     Insert,
     IsNull,
     Literal,
+    RestoreDatabase,
     STAR,
     Select,
     Show,
@@ -241,6 +243,8 @@ class Session:
             CreateDatabase: self._do_create_database,
             DropDatabase: self._do_drop_database,
             AlterUndoInterval: self._do_alter,
+            BackupDatabase: self._do_backup,
+            RestoreDatabase: self._do_restore,
             TxnControl: self._do_txn,
             Checkpoint: self._do_checkpoint,
             Use: self._do_use,
@@ -468,6 +472,24 @@ class Session:
         if self.current == stmt.name:
             self.current = None
         return Result(message=f"DROP {stmt.name}")
+
+    def _do_backup(self, stmt: BackupDatabase) -> Result:
+        backup = self.engine.backup_database(stmt.name, full=stmt.full)
+        kind = "full" if not hasattr(backup, "base_lsn") else "incremental"
+        return Result(
+            message=(
+                f"BACKUP DATABASE {stmt.name} ({kind}, "
+                f"{len(backup.pages)} pages, lsn={backup.backup_lsn:#x})"
+            )
+        )
+
+    def _do_restore(self, stmt: RestoreDatabase) -> Result:
+        restored = self.engine.restore_from_archive(
+            stmt.source, stmt.as_of, stmt.new_name
+        )
+        return Result(
+            message=f"RESTORE DATABASE {restored.name} AS OF {stmt.as_of}"
+        )
 
     def _do_alter(self, stmt: AlterUndoInterval) -> Result:
         db = self.engine.database(stmt.database)

@@ -139,6 +139,32 @@ class AlterUndoInterval:
 
 
 @dataclass(frozen=True)
+class BackupDatabase:
+    """``BACKUP DATABASE <name> [FULL]``.
+
+    Archives a backup chained onto the newest archived chain (the first
+    backup — or ``FULL`` — starts a new full baseline) and enables
+    continuous log archiving for the database.
+    """
+
+    name: str
+    full: bool = False
+
+
+@dataclass(frozen=True)
+class RestoreDatabase:
+    """``RESTORE DATABASE <src> AS OF '<time>' [AS <new_name>]``.
+
+    Materializes an archive-backed read-only copy of ``source`` as of the
+    given time — reachable even past the retention horizon.
+    """
+
+    source: str
+    as_of: str | float
+    new_name: str | None = None
+
+
+@dataclass(frozen=True)
 class TxnControl:
     action: str           # BEGIN/COMMIT/ROLLBACK
     savepoint: str | None = None  # SAVEPOINT <n> / ROLLBACK TO <n>
@@ -215,6 +241,16 @@ class Parser:
             return True
         return False
 
+    def accept_word(self, word: str) -> bool:
+        """Accept a *contextual* keyword: a word with meaning only in one
+        position (``BACKUP``, ``RESTORE``, ``FULL``), lexed as a plain
+        identifier so it stays usable as a table or column name."""
+        token = self.peek()
+        if token.ttype is TokenType.IDENT and token.value.upper() == word:
+            self.advance()
+            return True
+        return False
+
     def expect_keyword(self, word: str) -> None:
         if not self.accept_keyword(word):
             raise self.error(f"expected {word}")
@@ -259,6 +295,25 @@ class Parser:
 
     def parse_statement(self):
         token = self.peek()
+        if token.ttype is TokenType.IDENT and token.value.upper() in (
+            "BACKUP",
+            "RESTORE",
+        ):
+            # Contextual statement words: only reserved in this position.
+            if self.accept_word("BACKUP"):
+                self.expect_keyword("DATABASE")
+                name = self.expect_ident()
+                return BackupDatabase(name, full=self.accept_word("FULL"))
+            self.accept_word("RESTORE")
+            self.expect_keyword("DATABASE")
+            source = self.expect_ident()
+            self.expect_keyword("AS")
+            self.expect_keyword("OF")
+            as_of = self._parse_as_of_value()
+            new_name = None
+            if self.accept_keyword("AS"):
+                new_name = self.expect_ident()
+            return RestoreDatabase(source, as_of, new_name)
         if token.ttype is not TokenType.KEYWORD:
             raise self.error("expected a statement")
         word = token.value

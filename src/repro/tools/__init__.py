@@ -8,6 +8,8 @@ checker in the spirit of ``DBCC CHECKDB``.
 
 from repro.tools.loginspect import (
     describe_record,
+    dump_archive,
+    dump_archived_segment,
     dump_log,
     log_statistics,
     page_history,
@@ -18,6 +20,8 @@ from repro.tools.checkdb import check_database, CheckReport
 __all__ = [
     "describe_record",
     "dump_log",
+    "dump_archive",
+    "dump_archived_segment",
     "page_history",
     "transaction_history",
     "log_statistics",

@@ -292,6 +292,37 @@ class LogManager:
         self.env.stats.log_write_bytes += len(data)
         return last_checkpoint
 
+    def open_at(self, base_lsn: int) -> None:
+        """Rebase a pristine, empty log so its next record lands at
+        ``base_lsn``.
+
+        The log stream of an archive-restored database copy — or of a
+        standby seeded from a backup chain — starts mid-history: the first
+        byte it will ever hold is the record at the seed LSN, and
+        everything below that LSN lives in the backup pages (or the
+        archive). Only a freshly constructed log (no appended records, no
+        prior rebase) may be rebased; anything else would orphan LSNs.
+        """
+        if base_lsn < FIRST_LSN:
+            raise WalError(
+                f"cannot open log at {format_lsn(base_lsn)}: below the "
+                f"first valid LSN {format_lsn(FIRST_LSN)}"
+            )
+        if (
+            self._base != 0
+            or self.end_lsn != FIRST_LSN
+            or self._durable_end != FIRST_LSN
+            or self._truncated_before != FIRST_LSN
+        ):
+            raise WalError(
+                f"open_at requires a pristine empty log "
+                f"(end={format_lsn(self.end_lsn)}, base={self._base})"
+            )
+        self._data = bytearray()
+        self._base = base_lsn
+        self._durable_end = base_lsn
+        self._truncated_before = base_lsn
+
     def discard_after(self, lsn: int) -> None:
         """Throw away all records with LSN >= ``lsn`` (standby promotion).
 
