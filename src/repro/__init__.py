@@ -32,8 +32,9 @@ from repro.archive import ArchiveStore, IncrementalBackup, LogArchiver
 from repro.catalog.schema import Column, ColumnType, TableSchema
 from repro.config import CostModel, DatabaseConfig, LoggingExtensions, SimEnv
 from repro.core.asof import AsOfSnapshot
-from repro.core.page_undo import prepare_page_as_of
+from repro.core.page_undo import prepare_page_as_of, prepare_page_version
 from repro.core.split_lsn import find_split_lsn
+from repro.core.version_store import PageVersionStore
 from repro.engine.database import Database, Table
 from repro.engine.engine import Engine
 from repro.errors import (
@@ -74,6 +75,8 @@ __all__ = [
     "SAS_10K",
     "SLC_SSD",
     "prepare_page_as_of",
+    "prepare_page_version",
+    "PageVersionStore",
     "find_split_lsn",
     "Replica",
     "LogShipper",

@@ -62,9 +62,15 @@ def build_tpcc(
     config: DatabaseConfig | None = None,
     name: str = "tpcc",
     seed: int = 7,
+    version_store_budget: int | None = None,
 ):
-    """(engine, db, driver) with TPC-C loaded and optionally inflated."""
-    engine = Engine(env)
+    """(engine, db, driver) with TPC-C loaded and optionally inflated.
+
+    ``version_store_budget=0`` disables the cross-snapshot page version
+    store — the figure benches pass it to reproduce the *paper's*
+    baseline undo costs; ``bench_version_store.py`` measures the store.
+    """
+    engine = Engine(env, version_store_budget=version_store_budget)
     if config is None:
         # Server-class log cache (the paper's testbed had 24 GB RAM):
         # 4 MB of cached log blocks for the undo path.
@@ -118,7 +124,12 @@ def run_time_travel_experiment(
     """Run the shared experiment on the given media profile."""
     profile = PROFILES[profile_name]
     env = make_perf_env(profile)
-    engine, db, driver = build_tpcc(env, scale, filler_pages=filler_pages)
+    # Store disabled: Figures 7-11 measure per-snapshot chain-walk costs
+    # (via the batched/coalesced walk the engine now always uses), not
+    # the cross-snapshot reuse layered on top.
+    engine, db, driver = build_tpcc(
+        env, scale, filler_pages=filler_pages, version_store_budget=0
+    )
     backup = take_full_backup(db)
 
     start_wall = env.clock.now()
@@ -169,7 +180,7 @@ def run_time_travel_experiment(
                 asof_create_s=create_s,
                 asof_query_s=query_s,
                 restore_s=restore_s,
-                undo_ios=spent.undo_log_reads,
+                undo_ios=spent.undo_log_reads + spent.undo_header_reads,
                 undo_records=spent.undo_records_applied,
                 pages_prepared=spent.pages_prepared_asof,
                 sparse_bytes=sparse_bytes,

@@ -11,15 +11,20 @@
   ``engine.query_as_of``: snapshots keyed by ``(database, split_lsn)``
   are reused across queries and sessions (refcounted) and evicted LRU
   under a side-file byte budget.
+* :class:`~repro.core.version_store.PageVersionStore` — the
+  cross-snapshot page version store: prepared page images keyed by the
+  validity interval their chain walk proved, shared engine-wide so
+  nearby/repeated AS OF reads skip the Figure 11 undo I/O entirely.
 * :mod:`~repro.core.retention` — section 4.3's retention period.
 * :mod:`~repro.core.recovery_tools` — the user-facing error-recovery
   workflows the paper's introduction walks through.
 """
 
-from repro.core.page_undo import prepare_page_as_of
+from repro.core.page_undo import PreparedVersion, prepare_page_as_of, prepare_page_version
 from repro.core.split_lsn import find_split_lsn, checkpoint_chain
 from repro.core.asof import AsOfSnapshot
 from repro.core.snapshot_pool import PoolStats, SnapshotPool
+from repro.core.version_store import PageVersionStore, VersionStoreStats
 from repro.core.retention import enforce_retention, retention_horizon
 from repro.core.recovery_tools import (
     diff_table,
@@ -31,11 +36,15 @@ from repro.core.txn_undo import undo_transaction
 
 __all__ = [
     "prepare_page_as_of",
+    "prepare_page_version",
+    "PreparedVersion",
     "find_split_lsn",
     "checkpoint_chain",
     "AsOfSnapshot",
     "SnapshotPool",
     "PoolStats",
+    "PageVersionStore",
+    "VersionStoreStats",
     "enforce_retention",
     "retention_horizon",
     "find_when_table_existed",

@@ -13,10 +13,15 @@ view of a database as of an arbitrary past point in time:
   background"): queries are admitted immediately, and a read that touches
   a locked row drives the conflicting transaction's undo to completion
   first.
-* **Page access** (section 5.3): sparse-file hit → serve; miss → read the
-  current page from the primary, ``PreparePageAsOf(page, SplitLSN)``, cache
-  the result in the sparse file. Previous versions are generated only for
-  pages queries actually touch.
+* **Page access** (section 5.3): sparse-file hit → serve; miss → probe
+  the engine's cross-snapshot
+  :class:`~repro.core.version_store.PageVersionStore` for a prepared
+  image whose validity interval covers the SplitLSN (skipping the whole
+  chain walk — the cost Figure 11 shows dominating as-of reads); store
+  miss → read the current page from the primary,
+  ``PreparePageAsOf(page, SplitLSN)``, publish the result's interval to
+  the store, and cache it in the sparse file. Previous versions are
+  generated only for pages queries actually touch.
 
 The snapshot exposes the same reader protocol as a live database (catalog,
 ``get``, ``scan``), because to "all the other components in the database
@@ -33,7 +38,7 @@ from repro.catalog.catalog import (
     Catalog,
     ObjectInfo,
 )
-from repro.core.page_undo import prepare_page_as_of
+from repro.core.page_undo import prepare_page_version
 from repro.core.split_lsn import checkpoint_chain, find_split_lsn
 from repro.engine.recovery import analyze_log
 from repro.errors import (
@@ -307,8 +312,9 @@ class AsOfSnapshot:
     def fetch_page(self, page_id: int, create: bool = False):
         """Serve a page as of the SplitLSN.
 
-        Order: snapshot frame cache → sparse file → primary + physical
-        undo (cached back into the sparse file).
+        Order: snapshot frame cache → sparse file → cross-snapshot
+        version store → primary + physical undo (published to the store,
+        cached back into the sparse file).
         """
         self._check_alive()
         frame = self._frames.get(page_id)
@@ -319,10 +325,7 @@ class AsOfSnapshot:
         elif create or page_id >= _VIRTUAL_PAGE_BASE:
             data = bytearray(self.db.config.page_size)
         else:
-            with self.db.buffer.fetch(page_id) as guard:
-                data = bytearray(guard.page.data)
-            page = Page(data)
-            prepare_page_as_of(page, self.split_lsn, self.log, self.env)
+            data = self._prepare_page(page_id)
             self.sparse.write(page_id, bytes(data))
         frame = Frame(Page(data), page_id)
         self._frames[page_id] = frame
@@ -335,6 +338,42 @@ class AsOfSnapshot:
                 if len(self._frames) <= 128:
                     break
         return _SnapshotGuard(self, frame)
+
+    def _prepare_page(self, page_id: int) -> bytearray:
+        """Materialize the page image as of the SplitLSN.
+
+        Probes the engine-wide version store first — a hit is a memory
+        copy that skips the chain walk entirely. On a miss the page is
+        prepared from the primary's current image and the walk's proven
+        validity interval is published back, so the *next* snapshot whose
+        split lands inside the interval (a nearby audit read, a replica's
+        pool, a recreated pooled entry) hits.
+        """
+        store = getattr(self.db, "version_store", None)
+        store_key = getattr(self.db, "version_store_key", self.db.name)
+        if store is not None:
+            cached = store.lookup(store_key, page_id, self.split_lsn)
+            if cached is not None:
+                return bytearray(cached)
+        with self.db.buffer.fetch(page_id) as guard:
+            data = bytearray(guard.page.data)
+        page = Page(data)
+        version = prepare_page_version(page, self.split_lsn, self.log, self.env)
+        if store is not None and version is not None:
+            limit = version.limit_lsn
+            if limit is None:
+                # The walk proved no modification above the split in the
+                # page's current state: the image stays valid for every
+                # split up to the present log end (clamped to the applied
+                # prefix on a replica, whose pages trail its shipped log;
+                # a crash discarding the volatile tail invalidates).
+                horizon = getattr(self.db, "publish_horizon_lsn", None)
+                limit = horizon if horizon is not None else self.log.end_lsn
+            if limit > self.split_lsn:
+                store.publish(
+                    store_key, page_id, version.version_lsn, limit, bytes(data)
+                )
+        return data
 
     # ------------------------------------------------------------------
     # Background logical undo (paper section 5.2)

@@ -52,4 +52,16 @@ def enforce_retention(db) -> int:
     if keep_lsn > db.log.start_lsn:
         db.log.flush()
         db.log.truncate_before(keep_lsn)
+        # Truncation moved the reachability floor: drop memoized
+        # checkpoint entries and stored page versions whose whole
+        # interval fell below it (versions serving a still-pooled split
+        # end above the floor — the entry's pin kept keep_lsn at or
+        # below the split — so they survive).
+        cache = getattr(db, "_ckpt_chain_cache", None)
+        if cache:
+            for lsn in [lsn for lsn in cache if lsn < keep_lsn]:
+                del cache[lsn]
+        store = getattr(db, "version_store", None)
+        if store is not None:
+            store.gc(db.version_store_key, db.log.start_lsn)
     return db.log.start_lsn

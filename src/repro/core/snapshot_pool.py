@@ -223,6 +223,13 @@ class SnapshotPool:
         self.evict_to_budget()
 
     def _drop_entry(self, key: tuple[str, int]) -> None:
+        # Dropping an entry releases its retention pin; the next
+        # enforce_retention truncates past the evicted split and GCs the
+        # version-store intervals only that pin kept reachable (see
+        # repro.core.retention). Versions covering splits still pooled
+        # always end above the log floor — their pins kept truncation at
+        # or below the split — so they survive: exactly the
+        # cross-snapshot reuse the store exists for.
         entry = self._entries.pop(key)
         if entry.refcount > 0:
             self._orphans[id(entry.snapshot)] = entry
@@ -256,6 +263,13 @@ class SnapshotPool:
         conflicting undo lazily; draining between queries moves that cost
         off the first reader's latency. ``max_txns`` bounds one call (the
         pacing knob for callers draining inside a workload loop).
+
+        Draining also *publishes*: every page an undo chain touches is
+        materialized through ``fetch_page``, whose freshly prepared
+        (pre-undo) images land in the cross-snapshot version store with
+        their proven intervals — so a background drain warms the store
+        for every later snapshot in the neighborhood, not just this
+        entry's sparse file.
         """
         drained = 0
         for entry in list(self._entries.values()):

@@ -21,15 +21,33 @@ def checkpoint_chain(db, *, max_entries: int | None = None):
 
     Walks the ``prev_checkpoint_lsn`` back-chain starting at the boot
     page's last checkpoint. Stops at the retention horizon.
+
+    Entries are memoized per database (``db._ckpt_chain_cache``, keyed by
+    checkpoint LSN): the chain is immutable once written — a new
+    checkpoint only *prepends* an anchor, so cached entries stay valid —
+    and every ``find_split_lsn`` / snapshot creation / retention pass
+    re-walks it, each uncached hop costing a random-priced log read. The
+    cache is invalidated wholesale when history can be rewritten (crash
+    discarding the volatile tail, replica promotion discarding shipped
+    records — both run ``invalidate_caches``) and pruned below the
+    horizon on truncation. Databases without the cache attribute
+    (ephemeral restore views) walk uncached.
     """
     lsn = db.last_checkpoint_lsn
+    cache = getattr(db, "_ckpt_chain_cache", None)
     count = 0
     while lsn != NULL_LSN and lsn >= db.log.start_lsn:
-        rec = db.log.read(lsn)
-        if not isinstance(rec, CheckpointBeginRecord):
-            break
-        yield lsn, rec.wall_clock, rec.prev_checkpoint_lsn
-        lsn = rec.prev_checkpoint_lsn
+        entry = cache.get(lsn) if cache is not None else None
+        if entry is None:
+            rec = db.log.read(lsn)
+            if not isinstance(rec, CheckpointBeginRecord):
+                break
+            entry = (rec.wall_clock, rec.prev_checkpoint_lsn)
+            if cache is not None:
+                cache[lsn] = entry
+        wall, prev = entry
+        yield lsn, wall, prev
+        lsn = prev
         count += 1
         if max_entries is not None and count >= max_entries:
             break

@@ -162,6 +162,7 @@ class Database:
             self.env,
             block_size=self.config.log_block_size,
             cache_blocks=self.config.log_cache_blocks,
+            coalesce_gap_blocks=self.config.log_coalesce_gap_blocks,
         )
         self.buffer = BufferPool(
             self.file_manager,
@@ -199,6 +200,19 @@ class Database:
         #: they set this to ``inf`` — reachability is then bounded by the
         #: log itself, not the primary's configured window.
         self.retention_override_s: float | None = None
+        #: Engine-owned cross-snapshot page version store (wired by the
+        #: engine; ``None`` for standalone/restored databases).
+        self.version_store = None
+        #: Store key identifying this database's *log history*. Replicas
+        #: publish under their primary's key — their shipped log is
+        #: byte-identical, so their prepared pages are too.
+        self.version_store_key: str = name
+        #: Upper bound for open-ended published intervals; replicas set
+        #: it to their applied LSN (their pages trail the shipped log).
+        self.publish_horizon_lsn: int | None = None
+        #: Memoized checkpoint back-chain entries (lsn -> (wall, prev)),
+        #: consumed by :func:`repro.core.split_lsn.checkpoint_chain`.
+        self._ckpt_chain_cache: dict[int, tuple[float, int]] = {}
         if not bootstrap:
             # A shell for log-shipping replication: state materializes by
             # replaying the primary's log from its very first record (the
@@ -489,6 +503,7 @@ class Database:
         self._boot_cache = None
         self._table_cache.clear()
         self._tree_cache.clear()
+        self._ckpt_chain_cache.clear()
 
     def enforce_retention(self) -> int:
         """Truncate log outside the retention window; returns new start LSN."""
@@ -506,8 +521,16 @@ class Database:
         self._boot_cache = None
         self._table_cache.clear()
         self._tree_cache.clear()
+        self._ckpt_chain_cache.clear()
         self.alloc._hints.clear()
         self.snapshots.clear()
+        if self.version_store is not None:
+            # The volatile log tail is gone; recovery will write *new*
+            # records at those LSNs, so stored versions reaching into the
+            # discarded range describe history that no longer exists.
+            self.version_store.invalidate_from(
+                self.version_store_key, self.log.durable_lsn
+            )
 
     def recover(self) -> None:
         """ARIES crash recovery (analysis, redo, undo)."""

@@ -47,13 +47,27 @@ class Engine:
         env: SimEnv | None = None,
         config: DatabaseConfig | None = None,
         snapshot_pool_budget: int | None = None,
+        version_store_budget: int | None = None,
     ) -> None:
         from repro.core.snapshot_pool import DEFAULT_POOL_BUDGET_BYTES, SnapshotPool
+        from repro.core.version_store import (
+            DEFAULT_VERSION_STORE_BUDGET_BYTES,
+            PageVersionStore,
+        )
 
         self.env = env if env is not None else SimEnv.for_tests()
         self.default_config = config if config is not None else DatabaseConfig()
         self.databases: dict[str, Database] = {}
         self.snapshots: dict[str, "AsOfSnapshot"] = {}
+        #: Cross-snapshot page version store: prepared page images keyed
+        #: by their validity interval, shared by every database's pooled,
+        #: named and replica-side snapshots (``0`` disables it).
+        self.version_store = PageVersionStore(
+            version_store_budget
+            if version_store_budget is not None
+            else DEFAULT_VERSION_STORE_BUDGET_BYTES,
+            iostats=self.env.stats,
+        )
         #: Ephemeral snapshots backing inline ``AS OF`` reads.
         self.snapshot_pool: "SnapshotPool" = SnapshotPool(
             snapshot_pool_budget
@@ -96,7 +110,11 @@ class Engine:
         # name forfeits the old incarnation's archived restorability.
         self.archives.pop(name, None)
         self._archive_reads.pop(name, None)
+        # Same reasoning for stored page versions: the new incarnation's
+        # LSN space restarts, so a namesake's intervals would lie.
+        self.version_store.purge(name)
         db = Database(name, config or self.default_config, self.env)
+        db.version_store = self.version_store
         self._register_pool_pin(db)
         self.databases[name] = db
         return db
@@ -128,6 +146,7 @@ class Engine:
             archiver.close()
         self._shippers.pop(name, None)
         self.snapshot_pool.purge_database(name)
+        self.version_store.purge(name)
         del self.databases[name]
 
     # ------------------------------------------------------------------
@@ -258,6 +277,12 @@ class Engine:
             apply_slots=apply_slots,
             config=config,
         )
+        # The standby replays the primary's exact log, so its prepared
+        # page images are byte-identical to the primary's: both sides
+        # share one version store under the primary's key (one budget,
+        # mutual reuse across the primary pool and every replica pool).
+        replica.db.version_store = self.version_store
+        replica.db.version_store_key = db_name
         if seed_from_backup:
             archiver = self.archives.get(db_name)
             if archiver is None or not archiver.store.backups(db_name):
@@ -672,6 +697,16 @@ class Engine:
                 break
             drained += replica.snapshot_pool.drain(budget)
         return drained
+
+    def version_store_stats(self) -> dict:
+        """The cross-snapshot version store's counters, as a plain dict
+        (hit/miss/publish/eviction/invalidation plus byte occupancy) —
+        the observability surface benchmarks and the CI perf gate read."""
+        return self.version_store.as_dict()
+
+    def set_version_store_budget(self, budget_bytes: int) -> None:
+        """Resize (or, with ``0``, disable) the shared version store."""
+        self.version_store.set_budget(budget_bytes)
 
     # ------------------------------------------------------------------
 

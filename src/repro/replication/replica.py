@@ -15,7 +15,12 @@ The replica serves three kinds of reads:
   the shipping/apply lag.
 * **point in time** — ``AS OF`` leases from the replica's own
   :class:`~repro.core.snapshot_pool.SnapshotPool` over the replica's own
-  shipped log; the primary is not involved at all.
+  shipped log; the primary is not involved at all. Because the shipped
+  log is byte-identical to the primary's, prepared page images are too:
+  replica snapshots probe and publish the engine's shared
+  :class:`~repro.core.version_store.PageVersionStore` under the
+  *primary's* key, so a chain walk paid on either side is reusable by
+  every pool.
 * **delayed** — with ``apply_delay_s`` set, received frames are held in a
   staging queue and applied only once they are older than the delay. The
   window between applied and received state is an application-error
@@ -122,6 +127,7 @@ class Replica:
         self.db.file_manager.write_sequential(pages)
         self.db.log.open_at(seed_lsn)
         self.applied_lsn = seed_lsn
+        self.db.publish_horizon_lsn = seed_lsn
         self.db.invalidate_caches()
         self.db._load_boot()
         # The backup's boot page names the checkpoint the chain is
@@ -210,6 +216,10 @@ class Replica:
 
         applied = self._applier.apply(records())
         self.applied_lsn = to_lsn
+        # Snapshot preparation on this replica may publish open-ended
+        # page intervals; they are only proven up to the applied prefix
+        # (received-but-unapplied records can touch any page).
+        self.db.publish_horizon_lsn = to_lsn
         self.applied_wall = state["wall"]
         self.applied_commit_lsn = state["commit"]
         while self._delay_queue and self._delay_queue[0][1] <= self.applied_lsn:
@@ -330,6 +340,15 @@ class Replica:
         self.dropped = True
         self.db.read_only = False
         self.db.retention_override_s = None
+        if self.db.version_store is not None:
+            # The promoted timeline diverges from the primary's at the
+            # discard point: stop sharing the primary's store key and
+            # start a fresh history under this database's own name.
+            # Versions published under the primary's key stay valid for
+            # the primary — they describe the still-shared prefix.
+            self.db.version_store.purge(self.db.name)
+            self.db.version_store_key = self.db.name
+        self.db.publish_horizon_lsn = None
         # The receive-time checkpoint anchor may point into the discarded
         # tail; the boot page of the applied state is the truth now.
         self.db.invalidate_caches()

@@ -35,9 +35,15 @@ class IoStats:
     log_write_bytes: int = 0
     log_records: int = 0
     #: Random log reads issued by page-oriented undo (Figure 11's metric).
+    #: With the batched chain walk one coalesced span counts as one read.
     undo_log_reads: int = 0
     #: Undo-path log record fetches served from the log block cache.
     undo_log_cache_hits: int = 0
+    #: Header-only (sector-sized) random reads issued by chain discovery.
+    undo_header_reads: int = 0
+    #: Log blocks absorbed into a coalesced span beyond its first block —
+    #: random reads the batched walk turned into sequential transfer.
+    undo_reads_coalesced: int = 0
     #: Log records physically undone by PreparePageAsOf.
     undo_records_applied: int = 0
     #: Full page images applied to skip log regions during undo.
@@ -58,6 +64,13 @@ class IoStats:
     sparse_reads: int = 0
     sparse_writes: int = 0
     sparse_bytes: int = 0
+
+    # Cross-snapshot page version store (interval-keyed prepared pages).
+    version_store_hits: int = 0
+    version_store_misses: int = 0
+    version_store_publishes: int = 0
+    version_store_evictions: int = 0
+    version_store_invalidations: int = 0
 
     # Backup/restore traffic.
     backup_read_bytes: int = 0

@@ -11,6 +11,15 @@ one encoded frame, :func:`dump_archive` walks a store or a directory of
 ``.seg`` files, and the module doubles as a CLI::
 
     python -m repro.tools.loginspect --archive <file-or-dir> [--limit N]
+    python -m repro.tools.loginspect --archive <file-or-dir> --chains
+
+``--chains`` (and the :func:`chain_stats` API on a live database) answers
+the capacity question behind Figure 11: how long are the per-page
+back-chains, and what would preparing each page cost? The live-database
+walk uses the same header-only discovery pass as the batched
+``PreparePageAsOf`` path, so the estimate prices both the naive
+one-random-read-per-record walk and the coalesced
+:meth:`~repro.wal.log_manager.LogManager.read_many` plan.
 """
 
 from __future__ import annotations
@@ -121,6 +130,191 @@ def transaction_history(db, txn_id: int, *, max_records: int = 1000) -> list[Log
     return chain
 
 
+_CHAIN_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _bucket_label(length: int) -> str:
+    lo = 0
+    for edge in _CHAIN_BUCKETS:
+        if length < edge:
+            return str(lo) if lo == edge - 1 else f"{lo}-{edge - 1}"
+        lo = edge
+    return f"{_CHAIN_BUCKETS[-1]}+"
+
+
+def _coalesced_spans(blocks: set[int], gap: int) -> list[tuple[int, int]]:
+    """The ``(first, last)`` block spans ``read_many`` would issue."""
+    spans: list[list[int]] = []
+    for block in sorted(blocks):
+        if spans and block - spans[-1][1] - 1 <= gap:
+            spans[-1][1] = block
+        else:
+            spans.append([block, block])
+    return [(start, end) for start, end in spans]
+
+
+def chain_stats(db, *, split_lsn: int | None = None, max_pages: int | None = None) -> dict:
+    """Per-page back-chain lengths and estimated prepare cost.
+
+    Walks every allocated page's ``prevPageLSN`` chain with the same
+    header-only reads the batched ``PreparePageAsOf`` path uses for
+    discovery — down to ``split_lsn`` when given (the records an as-of
+    read at that split would undo), otherwise to the start of the
+    retained log. Returns a histogram of chain lengths plus, per the
+    log-device profile, the estimated cost of preparing *every* page
+    naively (one random block read per record, the paper's Figure 11
+    cost) versus batched (coalesced spans via ``read_many``).
+    """
+    from repro.wal.log_manager import HEADER_READ_BYTES
+
+    log = db.log
+    profile = db.env.log_device.profile
+    target = db.log.start_lsn - 1 if split_lsn is None else split_lsn
+    histogram: Counter = Counter()
+    lengths: list[int] = []
+    total_records = 0
+    naive_reads = 0
+    batched_spans = 0
+    batched_s = 0.0
+    truncated_chains = 0
+    pages_scanned = 0
+    # Dirty pages not yet checkpointed exist only in the buffer pool, so
+    # the scan covers the file extent *and* every buffered page id.
+    page_extent = db.file_manager.page_count
+    buffered = getattr(db.buffer, "_frames", None)
+    if buffered:
+        page_extent = max(page_extent, max(buffered) + 1)
+    for page_id in range(page_extent):
+        if max_pages is not None and pages_scanned >= max_pages:
+            break
+        with db.fetch_page(page_id) as guard:
+            if not guard.page.is_formatted():
+                continue
+            current = guard.page.page_lsn
+        pages_scanned += 1
+        length = 0
+        blocks: set[int] = set()
+        while current != NULL_LSN and current > target:
+            try:
+                header = log.read_header(current)
+            except LogTruncatedError:
+                truncated_chains += 1
+                break
+            length += 1
+            blocks.add(current // log.block_size)
+            current = header.prev_page_lsn
+        histogram[_bucket_label(length)] += 1
+        lengths.append(length)
+        total_records += length
+        naive_reads += len(blocks)
+        spans = _coalesced_spans(blocks, log.coalesce_gap_blocks)
+        batched_spans += len(spans)
+        # Price the batched plan the way read_many charges it: one random
+        # read of the whole span (gap blocks included) per span, plus one
+        # sector-priced header read per chain record for discovery.
+        for start, end in spans:
+            batched_s += profile.rand_read_time((end - start + 1) * log.block_size)
+        batched_s += length * profile.rand_read_time(HEADER_READ_BYTES)
+    lengths.sort()
+    naive_s = naive_reads * profile.rand_read_time(log.block_size)
+    return {
+        "pages_scanned": pages_scanned,
+        "split_lsn": split_lsn,
+        "histogram": dict(histogram),
+        "total_chain_records": total_records,
+        "max_chain": lengths[-1] if lengths else 0,
+        "median_chain": lengths[len(lengths) // 2] if lengths else 0,
+        "truncated_chains": truncated_chains,
+        "naive_undo_reads": naive_reads,
+        "batched_undo_reads": batched_spans,
+        "est_naive_prepare_s": naive_s,
+        "est_batched_prepare_s": batched_s,
+    }
+
+
+def _render_histogram(histogram: dict[str, int]) -> list[str]:
+    lines = []
+    width = max((len(label) for label in histogram), default=1)
+    for label in sorted(histogram, key=lambda item: int(item.split("-")[0].rstrip("+"))):
+        count = histogram[label]
+        bar = "#" * min(count, 60)
+        lines.append(f"  {label.rjust(width)} | {str(count).rjust(6)} {bar}")
+    return lines
+
+
+def chain_report(db, *, split_lsn: int | None = None, max_pages: int | None = None) -> list[str]:
+    """Human-readable rendering of :func:`chain_stats`."""
+    stats = chain_stats(db, split_lsn=split_lsn, max_pages=max_pages)
+    lines = [
+        "per-page back-chain lengths"
+        + ("" if split_lsn is None else f" above split {format_lsn(split_lsn)}")
+    ]
+    lines.extend(_render_histogram(stats["histogram"]))
+    lines.append(
+        f"  pages={stats['pages_scanned']} "
+        f"chain-records={stats['total_chain_records']} "
+        f"median={stats['median_chain']} max={stats['max_chain']}"
+    )
+    lines.append(
+        f"  est prepare cost: naive {stats['naive_undo_reads']} reads "
+        f"({stats['est_naive_prepare_s'] * 1000:.1f} ms), batched "
+        f"{stats['batched_undo_reads']} spans "
+        f"({stats['est_batched_prepare_s'] * 1000:.1f} ms)"
+    )
+    return lines
+
+
+def archive_chain_report(source, db_name: str | None = None) -> list[str]:
+    """Per-page chain-length histogram over *archived* segments.
+
+    An archive has no page state to walk back from, but every page
+    modification record it holds is one link of some page's chain — so
+    grouping the archived records by page id reproduces the chain-length
+    distribution over the archived window (what an as-of read landing at
+    the window's start would have to undo per page).
+    """
+    from repro.replication.stream import LogFrame
+
+    blobs: list[bytes] = []
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        paths = (
+            sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if _segment_file_matches(name, db_name)
+            )
+            if os.path.isdir(path)
+            else [path]
+        )
+        for seg_path in paths:
+            with open(seg_path, "rb") as fh:
+                blobs.append(fh.read())
+    else:
+        names = [db_name] if db_name is not None else source.database_names()
+        for name in names:
+            blobs.extend(seg.blob for seg in source.segments(name))
+    lengths: dict[int, int] = {}
+    for blob in blobs:
+        frame = LogFrame.decode(blob)
+        offset = 0
+        while offset < len(frame.payload):
+            record, offset = decode_record(
+                frame.payload, offset, frame.start_lsn + offset
+            )
+            if record.IS_PAGE_MOD:
+                lengths[record.page_id] = lengths.get(record.page_id, 0) + 1
+    histogram: Counter = Counter()
+    for length in lengths.values():
+        histogram[_bucket_label(length)] += 1
+    lines = ["per-page modification-chain lengths over archived segments"]
+    lines.extend(_render_histogram(histogram))
+    lines.append(
+        f"  pages={len(lengths)} chain-records={sum(lengths.values())}"
+    )
+    return lines
+
+
 def dump_archived_segment(blob: bytes, *, limit: int | None = None) -> list[str]:
     """Describe one encoded archived log segment (a shipped frame).
 
@@ -220,8 +414,18 @@ def main(argv=None) -> int:
         default=100,
         help="maximum record lines to print (default 100)",
     )
+    parser.add_argument(
+        "--chains",
+        action="store_true",
+        help="histogram of per-page modification-chain lengths instead "
+        "of a record dump (estimates as-of prepare cost)",
+    )
     args = parser.parse_args(argv)
-    for line in dump_archive(args.archive, args.db, limit=args.limit):
+    if args.chains:
+        lines = archive_chain_report(args.archive, args.db)
+    else:
+        lines = dump_archive(args.archive, args.db, limit=args.limit)
+    for line in lines:
         print(line)
     return 0
 

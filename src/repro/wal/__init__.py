@@ -25,10 +25,12 @@ from repro.wal.records import (
     LogRecord,
     PageImageRecord,
     PreformatPageRecord,
+    RecordHeader,
     RecordType,
     SetLinksRecord,
     UpdateRowRecord,
     decode_record,
+    unpack_header,
 )
 from repro.wal.log_manager import LogManager
 from repro.wal.apply import PageModifier
@@ -54,7 +56,9 @@ __all__ = [
     "AllocPageRecord",
     "DeallocPageRecord",
     "ClrRecord",
+    "RecordHeader",
     "decode_record",
+    "unpack_header",
     "LogManager",
     "PageModifier",
     "LOG_HEADER_MAGIC",

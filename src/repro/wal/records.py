@@ -55,6 +55,90 @@ _HEADER = struct.Struct("<IBBQQIQII")
 HEADER_SIZE = _HEADER.size  # 42 bytes
 
 
+class RecordHeader:
+    """A decoded record header, without the body.
+
+    The per-page back-chain (``prev_page_lsn``) and the per-transaction
+    chain (``prev_txn_lsn``) both live in the fixed-size header, so chain
+    *discovery* never needs record bodies: the batched undo path walks
+    headers first, then fetches the full records in one coalesced pass
+    (:meth:`repro.wal.log_manager.LogManager.read_many`).
+    """
+
+    __slots__ = (
+        "lsn",
+        "total",
+        "record_type",
+        "flags",
+        "txn_id",
+        "prev_txn_lsn",
+        "page_id",
+        "prev_page_lsn",
+        "object_id",
+    )
+
+    def __init__(
+        self,
+        lsn: int,
+        total: int,
+        record_type: int,
+        flags: int,
+        txn_id: int,
+        prev_txn_lsn: int,
+        page_id: int,
+        prev_page_lsn: int,
+        object_id: int,
+    ) -> None:
+        self.lsn = lsn
+        self.total = total
+        self.record_type = record_type
+        self.flags = flags
+        self.txn_id = txn_id
+        self.prev_txn_lsn = prev_txn_lsn
+        self.page_id = page_id
+        self.prev_page_lsn = prev_page_lsn
+        self.object_id = object_id
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordHeader(lsn={format_lsn(self.lsn)}, "
+            f"type={self.record_type}, page={self.page_id}, "
+            f"prev_page={format_lsn(self.prev_page_lsn)})"
+        )
+
+
+def unpack_header(data, offset: int, lsn: int = NULL_LSN) -> RecordHeader:
+    """Decode only the fixed-size header of the record at ``offset``."""
+    if offset + HEADER_SIZE > len(data):
+        raise LogRecordDecodeError(f"truncated header at offset {offset}")
+    (
+        total,
+        rtype,
+        flags,
+        txn_id,
+        prev_txn_lsn,
+        page_id,
+        prev_page_lsn,
+        object_id,
+        _crc,
+    ) = _HEADER.unpack_from(data, offset)
+    if total < HEADER_SIZE or offset + total > len(data):
+        raise LogRecordDecodeError(
+            f"truncated record at offset {offset} (claims {total} bytes)"
+        )
+    return RecordHeader(
+        lsn=lsn,
+        total=total,
+        record_type=rtype,
+        flags=flags,
+        txn_id=txn_id,
+        prev_txn_lsn=prev_txn_lsn,
+        page_id=page_id,
+        prev_page_lsn=prev_page_lsn,
+        object_id=object_id,
+    )
+
+
 class RecordType(enum.IntEnum):
     """Wire discriminator for log records."""
 

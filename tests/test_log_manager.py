@@ -210,3 +210,115 @@ class TestCrashTruncate:
         log.truncate_before(lsns[10])
         for idx in range(10, 20):
             assert log.read(lsns[idx]).slot == idx
+
+
+class TestBatchedReads:
+    """read_header / read_many: the batched chain-walk access path."""
+
+    def test_read_header_matches_record(self):
+        log, _env = make_log()
+        lsn = log.append(
+            InsertRowRecord(
+                slot=3, row=b"abc", page_id=9, prev_page_lsn=77, txn_id=5
+            )
+        )
+        header = log.read_header(lsn)
+        assert header.lsn == lsn
+        assert header.page_id == 9
+        assert header.prev_page_lsn == 77
+        assert header.txn_id == 5
+
+    def test_read_header_charges_sector_not_block(self):
+        from repro.wal.log_manager import HEADER_READ_BYTES
+
+        log, env = make_log(log_profile=SAS_10K, block_size=4096, cache_blocks=4)
+        lsn = log.append(BeginRecord(txn_id=1))
+        log.flush()
+        t0 = env.clock.now()
+        log.read_header(lsn)
+        header_s = env.clock.now() - t0
+        expected = SAS_10K.rand_read_time(HEADER_READ_BYTES)
+        assert header_s == pytest.approx(expected)
+        assert env.stats.undo_header_reads == 1
+        # The block was never streamed: a full read still charges it.
+        t1 = env.clock.now()
+        log.read(lsn, for_undo=True)
+        assert env.clock.now() > t1
+        assert env.stats.undo_log_reads == 1
+        # ... and once the block is cached, headers are free.
+        t2 = env.clock.now()
+        log.read_header(lsn)
+        assert env.clock.now() == t2
+
+    def test_read_many_returns_all_records(self):
+        log, _env = make_log()
+        lsns = [
+            log.append(InsertRowRecord(slot=i, row=bytes([i] * 20), page_id=1))
+            for i in range(10)
+        ]
+        log.flush()
+        records = log.read_many([lsns[7], lsns[2], lsns[7], lsns[0]])
+        assert set(records) == {lsns[0], lsns[2], lsns[7]}
+        assert records[lsns[2]].slot == 2
+        assert records[lsns[7]].slot == 7
+
+    def test_read_many_coalesces_adjacent_blocks(self):
+        # 10 records of ~72 bytes across 256-byte blocks: the LSN set
+        # spans several adjacent blocks that one span must absorb.
+        log, env = make_log(
+            log_profile=SAS_10K, block_size=256, cache_blocks=16,
+            coalesce_gap_blocks=1,
+        )
+        lsns = [
+            log.append(InsertRowRecord(slot=i, row=bytes([i] * 30), page_id=1))
+            for i in range(10)
+        ]
+        log.flush()
+        records = log.read_many(lsns)
+        assert len(records) == 10
+        assert env.stats.undo_log_reads == 1  # one coalesced span
+        assert env.stats.undo_reads_coalesced > 0
+        # Spanned blocks are cached: re-reads are free.
+        t0 = env.clock.now()
+        log.read(lsns[0], for_undo=True)
+        assert env.clock.now() == t0
+
+    def test_read_many_respects_gap_limit(self):
+        log, env = make_log(
+            log_profile=SAS_10K, block_size=256, cache_blocks=32,
+            coalesce_gap_blocks=0,
+        )
+        lsns = []
+        for i in range(40):
+            lsns.append(
+                log.append(InsertRowRecord(slot=i, row=bytes([i]) * 30, page_id=1))
+            )
+        log.flush()
+        # Two records far apart with gap 0: two separate spans.
+        log.read_many([lsns[0], lsns[-1]])
+        assert env.stats.undo_log_reads == 2
+
+    def test_read_many_volatile_tail_free(self):
+        log, env = make_log(log_profile=SAS_10K)
+        lsns = [log.append(BeginRecord(txn_id=i)) for i in range(3)]
+        t0 = env.clock.now()
+        records = log.read_many(lsns)
+        assert env.clock.now() == t0
+        assert len(records) == 3
+        assert env.stats.undo_log_reads == 0
+
+    def test_read_many_below_horizon_raises(self):
+        log, _env = make_log()
+        lsns = [log.append(BeginRecord(txn_id=i)) for i in range(4)]
+        log.flush()
+        log.truncate_before(lsns[2])
+        with pytest.raises(LogTruncatedError):
+            log.read_many([lsns[0], lsns[3]])
+
+    def test_read_header_below_horizon_raises(self):
+        log, _env = make_log()
+        lsns = [log.append(BeginRecord(txn_id=i)) for i in range(4)]
+        log.flush()
+        log.truncate_before(lsns[2])
+        with pytest.raises(LogTruncatedError):
+            log.read_header(lsns[0])
