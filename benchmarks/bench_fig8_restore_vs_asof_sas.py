@@ -63,7 +63,7 @@ def test_fig8_sas_slower_than_ssd(benchmark, show):
         ["minutes back", "ssd query s", "sas query s", "sas / ssd"],
     )
     pairs = 0
-    for ssd_pt, sas_pt in zip(ssd.points, sas.points):
+    for ssd_pt, sas_pt in zip(ssd.points, sas.points, strict=False):
         if ssd_pt.minutes_back != sas_pt.minutes_back:
             continue
         ratio = (

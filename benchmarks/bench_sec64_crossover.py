@@ -10,9 +10,9 @@ total crosses the (flat) restore cost.
 
 from __future__ import annotations
 
+from repro.backup import restore_point_in_time, take_full_backup
 from repro.bench import ReportTable, save_results
 from repro.bench.harness import BENCH_SCALE, build_tpcc, make_perf_env
-from repro.backup import restore_point_in_time, take_full_backup
 from repro.sim.device import SLC_SSD
 from repro.workload.tpcc_txns import stock_level
 

@@ -38,7 +38,7 @@ def main() -> None:
 
     customer_key = (1, 1, 1)
     instants = []
-    for phase in range(4):
+    for _phase in range(4):
         driver.run_transactions(120)
         clock.advance(30)
         instants.append(clock.now())

@@ -15,7 +15,7 @@ Demonstrates section 4.3 and the section 6 media findings:
   for low-latency log media.
 """
 
-from repro import Engine, RetentionExceededError, SAS_10K, SLC_SSD
+from repro import SAS_10K, SLC_SSD, Engine, RetentionExceededError
 from repro.bench.harness import make_perf_env
 from repro.workload import TpccDriver, TpccScale, load_tpcc
 from repro.workload.tpcc_txns import stock_level

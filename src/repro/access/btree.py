@@ -32,12 +32,12 @@ from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
 from repro.storage.page import NULL_PAGE, Page, PageType
 from repro.storage.rowcodec import KeyCodec, RowCodec
 from repro.wal.records import (
+    FLAG_SMO,
     ClrRecord,
     DeleteRowRecord,
     InsertRowRecord,
     SetLinksRecord,
     UpdateRowRecord,
-    FLAG_SMO,
 )
 
 _ENTRY_CHILD = struct.Struct("<IB")

@@ -1,0 +1,38 @@
+"""reprolint: engine-invariant static analysis.
+
+The recovery story of the paper rests on invariants the type system
+cannot see: LSNs order the log opaquely, every byte the engine moves is
+priced through the simulated device model, replay is deterministic so
+replicas and restored copies converge byte-for-byte, and the structures
+shared across sessions (pools, version store, buffer pool, log tail,
+retention pins) are mutated only by their owners. This package checks
+those invariants at lint time, over the AST, before a refactor can
+silently break them.
+
+Entry points:
+
+- :class:`~repro.analysis.framework.Analyzer` — run registered rules
+  over files or in-memory source.
+- ``python -m repro.tools.reprolint src/ tests/`` — the CLI (text/JSON
+  reporting, baseline, CI gate).
+
+Rules live in :mod:`repro.analysis.rules`; each one documents the
+invariant it enforces. Suppress a finding inline with
+``# reprolint: ignore[RULE]`` on the flagged line, or skip a whole file
+with a ``# reprolint: skip-file`` comment line.
+"""
+
+from repro.analysis.config import AnalyzerConfig, RuleConfig
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.framework import Analyzer, Rule, all_rules, register
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerConfig",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "RuleConfig",
+    "all_rules",
+    "register",
+]

@@ -1,0 +1,137 @@
+"""Findings, inline suppressions, and the committed baseline.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:meth:`~Finding.identity` deliberately excludes the line number so a
+committed baseline survives unrelated edits above the finding; the
+message carries the discriminating detail (names, not positions).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+#: ``# reprolint: ignore`` or ``# reprolint: ignore[RL001, RL005]``.
+_IGNORE_RE = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: A whole-file opt-out; must be a standalone comment line.
+_SKIP_FILE_RE = re.compile(r"^\s*#\s*reprolint:\s*skip-file\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def identity(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across line-number drift."""
+        return (self.rule, self.path, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def collect_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number -> suppressed rule ids (``None`` = all rules).
+
+    Only comment text is honored: a ``reprolint: ignore`` inside a string
+    literal does not suppress (the marker must follow a ``#``).
+    """
+    suppressions: dict[int, set[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), 1):
+        comment_at = text.find("#")
+        if comment_at < 0:
+            continue
+        match = _IGNORE_RE.search(text, comment_at)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            ids = {r.strip().upper() for r in rules.split(",") if r.strip()}
+            existing = suppressions.get(lineno)
+            if existing is None and lineno in suppressions:
+                continue  # blanket ignore already covers the line
+            suppressions[lineno] = ids | (existing or set())
+    return suppressions
+
+
+def is_skipped_file(source: str) -> bool:
+    """True when the module opts out with ``# reprolint: skip-file``."""
+    for text in source.splitlines():
+        if _SKIP_FILE_RE.match(text):
+            return True
+    return False
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str] | None], line: int, rule: str
+) -> bool:
+    if line not in suppressions:
+        return False
+    rules = suppressions[line]
+    return rules is None or rule.upper() in rules
+
+
+class Baseline:
+    """The committed set of accepted findings.
+
+    The gate only fails on findings *not* in the baseline, so a rule can
+    land before every legacy violation is fixed — though this repo
+    commits an empty baseline: all pre-existing violations were fixed,
+    not grandfathered.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: set[tuple[str, str, str]] | None = None) -> None:
+        self.entries = entries or set()
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:  # reprolint: ignore[RL002]
+            raw = json.load(handle)
+        if raw.get("version") != cls.VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version {raw.get('version')!r}"
+            )
+        entries = {
+            (item["rule"], item["path"], item["message"])
+            for item in raw.get("findings", ())
+        }
+        return cls(entries)
+
+    def dump(self, findings: list[Finding]) -> str:
+        payload = {
+            "version": self.VERSION,
+            "findings": [
+                {"rule": f.rule, "path": f.path, "message": f.message}
+                for f in sorted(findings)
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined)."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            (old if finding.identity() in self.entries else new).append(finding)
+        return new, old
+
+    def stale_entries(self, findings: list[Finding]) -> set[tuple[str, str, str]]:
+        """Baseline entries no current finding matches (fixed or moved)."""
+        seen = {f.identity() for f in findings}
+        return {entry for entry in self.entries if entry not in seen}

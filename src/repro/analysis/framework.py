@@ -1,0 +1,299 @@
+"""The analyzer core: rule base class, registry, AST helpers, driver.
+
+Rules are small classes registered with :func:`register`; the
+:class:`Analyzer` parses each file once, attaches parent links, and runs
+every rule whose configured path scope matches. Rules report through
+:class:`RuleContext`, which applies inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.analysis.config import AnalyzerConfig
+from repro.analysis.findings import (
+    Finding,
+    collect_suppressions,
+    is_skipped_file,
+    is_suppressed,
+)
+
+_PARENT = "_reprolint_parent"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Give every node a parent pointer (rules climb for context)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    return getattr(node, _PARENT, None)
+
+
+def ancestors(node: ast.AST):
+    """Yield enclosing nodes, innermost first."""
+    current = parent(node)
+    while current is not None:
+        yield current
+        current = parent(current)
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module path they were imported as.
+
+    ``import os``            -> {"os": "os"}
+    ``import os.path``       -> {"os": "os"}
+    ``from os import path``  -> {"path": "os.path"}
+    ``from datetime import datetime as dt`` -> {"dt": "datetime.datetime"}
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                imports[alias.asname or root] = (
+                    alias.name if alias.asname else root
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call(call: ast.Call, imports: dict[str, str]) -> str | None:
+    """The fully qualified target of ``call``, when statically knowable.
+
+    A bare builtin (``open(...)``) resolves to its own name unless the
+    module rebound it via an import.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    base = imports.get(head)
+    if base is None:
+        return name
+    return f"{base}.{rest}" if rest else base
+
+
+def handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception class names an ``except`` clause catches (last dotted part)."""
+    if handler.type is None:
+        return {"BaseException"}
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    names = set()
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+def protected_by(node: ast.AST, catching: frozenset[str]) -> bool:
+    """Is ``node`` inside the body of a try whose handlers catch one of
+    ``catching``? (Being inside a handler or finally does not protect.)"""
+    child = node
+    for anc in ancestors(node):
+        if isinstance(anc, ast.Try):
+            in_body = any(child is stmt or _contains(stmt, child) for stmt in anc.body)
+            if in_body and any(
+                handler_names(h) & catching for h in anc.handlers
+            ):
+                return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Stop at the enclosing function: an outer function's try
+            # does not wrap calls made when the inner one runs later.
+            return False
+        child = anc
+    return False
+
+
+def _contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in ast.walk(root))
+
+
+class RuleContext:
+    """Everything a rule sees about one module, plus the report sink."""
+
+    def __init__(
+        self,
+        relpath: str,
+        source: str,
+        tree: ast.Module,
+        config: AnalyzerConfig,
+    ) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.imports = build_import_map(tree)
+        self.findings: list[Finding] = []
+        self._suppressions = collect_suppressions(source)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if is_suppressed(self._suppressions, line, rule_id):
+            return
+        self.findings.append(
+            Finding(
+                path=self.relpath,
+                line=line,
+                col=col,
+                rule=rule_id,
+                message=message,
+                snippet=self.snippet(line),
+            )
+        )
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id`` / ``name`` / ``invariant`` and implement
+    :meth:`check`. Registration (via :func:`register`) makes the rule
+    discoverable by the analyzer and the CLI's ``--list-rules``.
+    """
+
+    id: str = ""
+    name: str = ""
+    #: One-line statement of the engine invariant the rule enforces.
+    invariant: str = ""
+
+    def check(self, ctx: RuleContext) -> None:
+        raise NotImplementedError
+
+    def report(self, ctx: RuleContext, node: ast.AST, message: str) -> None:
+        ctx.report(self.id, node, message)
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    # Importing the rules package populates the registry.
+    import repro.analysis.rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def iter_python_files(paths: list[str]):
+    """Yield .py files under ``paths`` (files or directories), sorted."""
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        else:
+            candidates = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                candidates.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".py")
+                )
+        for candidate in candidates:
+            normal = os.path.normpath(candidate)
+            if normal not in seen:
+                seen.add(normal)
+                yield normal
+
+
+class Analyzer:
+    """Run a set of rules over files or in-memory source."""
+
+    def __init__(
+        self,
+        config: AnalyzerConfig | None = None,
+        select: set[str] | None = None,
+        ignore: set[str] | None = None,
+    ) -> None:
+        self.config = config or AnalyzerConfig.default()
+        rules = all_rules()
+        active = select if select is not None else set(rules)
+        active -= ignore or set()
+        unknown = active - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        self.rules = [rules[rule_id]() for rule_id in sorted(active)]
+
+    def check_source(self, source: str, relpath: str) -> list[Finding]:
+        """Analyze one module given as text (the test fixtures' entry)."""
+        relpath = relpath.replace(os.sep, "/")
+        if is_skipped_file(source):
+            return []
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as err:
+            return [
+                Finding(
+                    path=relpath,
+                    line=err.lineno or 1,
+                    col=(err.offset or 0) + 1,
+                    rule="RL000",
+                    message=f"syntax error: {err.msg}",
+                )
+            ]
+        attach_parents(tree)
+        ctx = RuleContext(relpath, source, tree, self.config)
+        for rule in self.rules:
+            if self.config.rule(rule.id).applies_to(relpath):
+                rule.check(ctx)
+        return sorted(ctx.findings)
+
+    def check_paths(self, paths: list[str], root: str | None = None) -> list[Finding]:
+        """Analyze every python file under ``paths``.
+
+        Paths in findings are reported relative to ``root`` (default:
+        the current directory) so they match the committed baseline no
+        matter where the CLI is invoked from.
+        """
+        root = root or os.getcwd()
+        findings: list[Finding] = []
+        for filepath in iter_python_files(paths):
+            relpath = os.path.relpath(os.path.abspath(filepath), root)
+            with open(filepath, encoding="utf-8") as handle:
+                source = handle.read()
+            findings.extend(self.check_source(source, relpath))
+        return sorted(findings)

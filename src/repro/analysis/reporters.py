@@ -1,0 +1,70 @@
+"""Finding reporters: human text and machine JSON.
+
+Shared by the reprolint CLI and by ``loginspect --lint-log`` (whose
+log-level findings render through the same text path, so tooling output
+stays uniform).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+
+
+def render_text(
+    findings: list[Finding],
+    *,
+    baselined: list[Finding] | None = None,
+    show_snippets: bool = True,
+) -> list[str]:
+    """One ``path:line:col: RULE message`` block per finding."""
+    lines: list[str] = []
+    for finding in findings:
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        if show_snippets and finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if baselined:
+        lines.append(f"({len(baselined)} baselined finding(s) not shown)")
+    return lines
+
+
+def render_json(
+    findings: list[Finding], *, baselined: list[Finding] | None = None
+) -> str:
+    def encode(finding: Finding, in_baseline: bool) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "baselined": in_baseline,
+        }
+
+    payload = {
+        "findings": [encode(f, False) for f in findings]
+        + [encode(f, True) for f in (baselined or [])],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def summary(
+    findings: list[Finding],
+    baselined: list[Finding],
+    files: int,
+    elapsed_s: float,
+) -> str:
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    breakdown = (
+        " (" + ", ".join(f"{r}: {n}" for r, n in sorted(by_rule.items())) + ")"
+        if by_rule
+        else ""
+    )
+    extra = f", {len(baselined)} baselined" if baselined else ""
+    return (
+        f"reprolint: {len(findings)} new finding(s){breakdown}{extra} "
+        f"across {files} file(s) in {elapsed_s * 1000:.0f} ms"
+    )

@@ -1,0 +1,9 @@
+"""Rule modules. Importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    error_surface,
+    lsn,
+    priced_io,
+    shared_state,
+)

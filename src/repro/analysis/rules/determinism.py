@@ -1,0 +1,57 @@
+"""RL003 — replay determinism.
+
+Replicas and restored copies converge with the primary byte-for-byte
+because replay is a pure function of the log. Any wall-clock read or
+unseeded randomness inside the engine breaks that: two replays of the
+same log would diverge. The engine reads time from the
+:class:`~repro.sim.clock.SimClock` only, and randomness from an
+explicitly seeded ``random.Random``. Benchmarks that want *host*
+elapsed time use :func:`repro.sim.clock.host_perf_counter` — the sim
+layer owns the boundary to the real clock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Rule, register, resolve_call
+
+
+@register
+class ReplayDeterminism(Rule):
+    id = "RL003"
+    name = "replay-determinism"
+    invariant = (
+        "No wall-clock reads or unseeded randomness outside the sim "
+        "layer: replay must be a pure function of the log."
+    )
+
+    def check(self, ctx) -> None:
+        options = ctx.config.rule(self.id).options
+        banned = options.get("banned_calls", frozenset())
+        rng_module = options.get("rng_module", "random")
+        rng_allowed = options.get("rng_allowed", frozenset())
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, ctx.imports)
+            if target is None:
+                continue
+            if target in banned:
+                self.report(
+                    ctx,
+                    node,
+                    f"nondeterministic call {target!r}; engine time comes "
+                    f"from SimClock (host timing for reports: "
+                    f"repro.sim.clock.host_perf_counter)",
+                )
+                continue
+            module, _, func = target.rpartition(".")
+            if module == rng_module and func not in rng_allowed:
+                self.report(
+                    ctx,
+                    node,
+                    f"{target!r} drives the unseeded global RNG; use an "
+                    f"explicitly seeded random.Random so replay and "
+                    f"workloads are reproducible",
+                )

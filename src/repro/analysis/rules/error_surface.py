@@ -1,0 +1,133 @@
+"""RL004 — error-surface discipline.
+
+:class:`~repro.errors.LogTruncatedError` is a *storage-level* fact: an
+LSN fell below the retention horizon. At the engine's public surface
+that fact must arrive as :class:`~repro.errors.RetentionExceededError`
+(naming the recovery options — archive restore, delayed replica), never
+as the raw storage error; PR 1 fixed exactly this leak in snapshot
+creation, and this rule generalizes the fix into a checked contract.
+
+A public engine method may reach truncation-raising APIs (log reads on
+a ``log``-named receiver, the split-resolution helpers) only inside a
+``try`` whose handlers catch ``LogTruncatedError`` or an ancestor; it
+may not raise or re-raise the error itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import (
+    Rule,
+    ancestors,
+    dotted_name,
+    handler_names,
+    protected_by,
+    register,
+)
+
+
+def _is_log_receiver(expr: ast.expr) -> bool:
+    """``log.read(...)`` or ``db.log.read(...)`` — the receiver is a log."""
+    return (isinstance(expr, ast.Name) and expr.id == "log") or (
+        isinstance(expr, ast.Attribute) and expr.attr == "log"
+    )
+
+
+def _enclosing_public_method(node: ast.AST) -> str | None:
+    """Name of the public function/method ``node`` executes in, if any.
+
+    Nested (private-looking) helpers defined inside a public method are
+    attributed to that method — their body runs under its contract.
+    """
+    chain = [
+        anc for anc in ancestors(node)
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if not chain:
+        return None
+    outermost = chain[-1]
+    if outermost.name.startswith("_"):
+        return None
+    for anc in ancestors(outermost):
+        if isinstance(anc, ast.ClassDef) and anc.name.startswith("_"):
+            return None
+    return outermost.name
+
+
+@register
+class ErrorSurfaceDiscipline(Rule):
+    id = "RL004"
+    name = "error-surface-discipline"
+    invariant = (
+        "LogTruncatedError never escapes an engine-level public method "
+        "unwrapped; the surface speaks RetentionExceededError."
+    )
+
+    def check(self, ctx) -> None:
+        options = ctx.config.rule(self.id).options
+        log_methods = options.get("log_methods", frozenset())
+        helpers = options.get("helpers", frozenset())
+        handlers = options.get("handlers", frozenset({"LogTruncatedError"}))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Raise):
+                self._check_raise(ctx, node)
+            elif isinstance(node, ast.Call):
+                self._check_call(ctx, node, log_methods, helpers, handlers)
+
+    def _check_raise(self, ctx, node: ast.Raise) -> None:
+        method = _enclosing_public_method(node)
+        if method is None:
+            return
+        if node.exc is not None:
+            target = dotted_name(
+                node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+            )
+            if target and target.rsplit(".", 1)[-1] == "LogTruncatedError":
+                self.report(
+                    ctx,
+                    node,
+                    f"public method {method!r} raises LogTruncatedError; "
+                    f"the engine surface must wrap it as "
+                    f"RetentionExceededError",
+                )
+            return
+        # Bare ``raise``: re-raising inside a LogTruncatedError handler
+        # leaks the storage error through the public surface.
+        for anc in ancestors(node):
+            if isinstance(anc, ast.ExceptHandler):
+                if "LogTruncatedError" in handler_names(anc):
+                    self.report(
+                        ctx,
+                        node,
+                        f"public method {method!r} re-raises a caught "
+                        f"LogTruncatedError unwrapped; raise "
+                        f"RetentionExceededError(...) from it instead",
+                    )
+                return
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+
+    def _check_call(self, ctx, node, log_methods, helpers, handlers) -> None:
+        func = node.func
+        flagged = None
+        if isinstance(func, ast.Attribute):
+            if func.attr in log_methods and _is_log_receiver(func.value):
+                flagged = f"log-manager {func.attr!r}"
+            elif func.attr in helpers:
+                flagged = f"split-resolution {func.attr!r}"
+        elif isinstance(func, ast.Name) and func.id in helpers:
+            flagged = f"split-resolution {func.id!r}"
+        if flagged is None:
+            return
+        method = _enclosing_public_method(node)
+        if method is None:
+            return
+        if not protected_by(node, frozenset(handlers)):
+            self.report(
+                ctx,
+                node,
+                f"public method {method!r} calls {flagged} outside a try "
+                f"handling LogTruncatedError; a truncation would escape "
+                f"the engine surface unwrapped",
+            )

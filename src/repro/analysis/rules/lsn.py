@@ -1,0 +1,124 @@
+"""RL001 — LSN discipline.
+
+LSNs are byte offsets, but *opaque* ones: the only literals with meaning
+are ``NULL_LSN`` and ``FIRST_LSN``, defined once in ``wal/lsn.py``. A
+raw integer compared to or assigned into an LSN-typed slot is either a
+magic number that happens to work (``lsn == 0``) or a latent bug when
+the log header layout changes (``lsn = 8``). Arithmetic on LSNs
+(offsets, block math) is legitimate and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.framework import Rule, register
+
+#: Identifiers treated as LSN-typed: ``lsn``, ``split_lsn``,
+#: ``prev_page_lsn``, ``from_lsn``... (suffix match on the last part).
+_LSN_NAME = re.compile(r"(?:^|_)lsn$")
+
+
+def _is_lsn_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return bool(_LSN_NAME.search(expr.id))
+    if isinstance(expr, ast.Attribute):
+        return bool(_LSN_NAME.search(expr.attr))
+    return False
+
+
+def _int_literal(expr: ast.expr) -> int | None:
+    if isinstance(expr, ast.Constant) and type(expr.value) is int:
+        return expr.value
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and isinstance(expr.op, ast.USub)
+        and isinstance(expr.operand, ast.Constant)
+        and type(expr.operand.value) is int
+    ):
+        return -expr.operand.value
+    return None
+
+
+def _lsn_name(expr: ast.expr) -> str:
+    return expr.id if isinstance(expr, ast.Name) else expr.attr
+
+
+@register
+class LsnDiscipline(Rule):
+    id = "RL001"
+    name = "lsn-discipline"
+    invariant = (
+        "LSNs are opaque: raw integer literals may only meet LSN-typed "
+        "values inside wal/lsn.py (use NULL_LSN / FIRST_LSN)."
+    )
+
+    def check(self, ctx) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                self._check_compare(ctx, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_binding(ctx, node, target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._check_binding(ctx, node, node.target, node.value)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    self._check_keyword(ctx, node, keyword)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_defaults(ctx, node)
+
+    def _flag(self, ctx, node, name: str, value: int) -> None:
+        self.report(
+            ctx,
+            node,
+            f"raw integer literal {value} bound to LSN-typed {name!r}; "
+            f"use NULL_LSN/FIRST_LSN from repro.wal.lsn or a real LSN",
+        )
+
+    def _check_compare(self, ctx, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left, right in zip(operands, operands[1:], strict=False):
+            for lsn_side, other in ((left, right), (right, left)):
+                value = _int_literal(other)
+                if value is not None and _is_lsn_expr(lsn_side):
+                    self.report(
+                        ctx,
+                        node,
+                        f"LSN-typed {_lsn_name(lsn_side)!r} compared to raw "
+                        f"integer literal {value}; use NULL_LSN/FIRST_LSN "
+                        f"from repro.wal.lsn",
+                    )
+
+    def _check_binding(self, ctx, node, target: ast.expr, value: ast.expr) -> None:
+        literal = _int_literal(value)
+        if literal is not None and _is_lsn_expr(target):
+            self._flag(ctx, node, _lsn_name(target), literal)
+
+    def _check_keyword(self, ctx, node, keyword: ast.keyword) -> None:
+        if keyword.arg is None or not _LSN_NAME.search(keyword.arg):
+            return
+        literal = _int_literal(keyword.value)
+        if literal is not None:
+            self._flag(ctx, keyword.value, keyword.arg, literal)
+
+    def _check_defaults(self, ctx, node) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):],
+            args.defaults,
+            strict=True,
+        ):
+            self._check_default(ctx, arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults, strict=True):
+            if default is not None:
+                self._check_default(ctx, arg, default)
+
+    def _check_default(self, ctx, arg: ast.arg, default: ast.expr) -> None:
+        if not _LSN_NAME.search(arg.arg):
+            return
+        literal = _int_literal(default)
+        if literal is not None:
+            self._flag(ctx, default, arg.arg, literal)

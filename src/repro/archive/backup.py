@@ -71,7 +71,7 @@ def take_incremental_backup(
         config=db.config,
     )
     pages = db.file_manager.read_sequential(page_ids)
-    for page_id, data in zip(page_ids, pages):
+    for page_id, data in zip(page_ids, pages, strict=True):
         page = Page(data)
         if not page.is_formatted() or page.page_lsn > base.backup_lsn:
             backup.pages[page_id] = bytes(data)

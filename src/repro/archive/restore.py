@@ -141,7 +141,7 @@ def restore_from_archive(
         config = source.config if source is not None else engine.default_config
     restored = init_restored_shell(engine, new_name, config, plan.roll_from_lsn)
     restored.file_manager.write_sequential(store.read_backup_pages(plan.chain))
-    restored._load_boot()
+    restored.reload_boot()
     restored.last_checkpoint_lsn = plan.roll_from_lsn
 
     roll_forward(restored, log, plan.roll_from_lsn, plan.split_lsn)

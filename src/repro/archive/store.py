@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.config import SimEnv
 from repro.errors import ArchiveError, BackupError
 from repro.replication.stream import LogFrame
+from repro.sim import hostio
 from repro.sim.device import DeviceProfile, SimDevice
 from repro.wal.log_manager import LogManager
 from repro.wal.lsn import NULL_LSN, format_lsn
@@ -103,7 +104,7 @@ class ArchiveStore:
         )
         self.directory = directory
         if directory is not None:
-            os.makedirs(directory, exist_ok=True)
+            hostio.ensure_directory(directory)
         self._segments: dict[str, list[ArchivedSegment]] = {}
         self._backups: dict[str, list] = {}
         self._log_views: dict[str, _ArchivedLogView] = {}
@@ -152,8 +153,7 @@ class ArchiveStore:
                 self.directory,
                 f"{db_name}-{frame.start_lsn:016x}-{frame.end_lsn:016x}.seg",
             )
-            with open(path, "wb") as fh:
-                fh.write(blob)
+            hostio.write_blob(path, blob)
         segments.append(segment)
         self.env.stats.archive_segments_written += 1
         return segment

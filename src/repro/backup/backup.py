@@ -59,7 +59,7 @@ def take_full_backup(db, *, charge_media: bool = True) -> FullBackup:
         config=db.config,
     )
     pages = db.file_manager.read_sequential(page_ids)
-    for page_id, data in zip(page_ids, pages):
+    for page_id, data in zip(page_ids, pages, strict=True):
         backup.pages[page_id] = bytes(data)
     # Writing the backup media is a sequential stream of the same volume.
     if charge_media:

@@ -125,7 +125,7 @@ def restore_point_in_time(
         engine, new_name, source_db.config, backup.backup_lsn
     )
     restored.file_manager.write_sequential(backup.pages)
-    restored._load_boot()
+    restored.reload_boot()
 
     # 2. Roll forward: replay the source log from the backup LSN to the
     #    split.
@@ -205,10 +205,8 @@ def init_restored_shell(engine, name: str, config, backup_lsn: int) -> Database:
     restored.catalog = Catalog(restored.services)
     restored.read_only = False
     restored.last_checkpoint_lsn = backup_lsn
-    restored._boot_cache = None
-    restored._table_cache = {}
-    restored._tree_cache = {}
+    restored.invalidate_caches()
     restored.snapshots = {}
-    restored.retention_pins = []
+    restored.reset_retention_pins()
     restored.retention_override_s = None
     return restored

@@ -6,7 +6,7 @@ by the same page-oriented undo as data pages, which is what makes a dropped
 table's schema visible again through an as-of snapshot.
 """
 
-from repro.catalog.schema import Column, ColumnType, TableSchema
 from repro.catalog.catalog import Catalog, ObjectInfo
+from repro.catalog.schema import Column, ColumnType, TableSchema
 
 __all__ = ["Column", "ColumnType", "TableSchema", "Catalog", "ObjectInfo"]

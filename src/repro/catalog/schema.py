@@ -146,7 +146,7 @@ class TableSchema:
                 f"table {self.name!r} expects {len(self.columns)} values, "
                 f"got {len(row)}"
             )
-        for col, value in zip(self.columns, row):
+        for col, value in zip(self.columns, row, strict=True):
             col.check_value(value)
 
     def row_from_dict(self, values: dict) -> tuple:
@@ -170,4 +170,4 @@ class TableSchema:
 
     def row_as_dict(self, row: tuple) -> dict:
         """Render a row tuple as a column-name→value dict."""
-        return dict(zip(self.column_names, row))
+        return dict(zip(self.column_names, row, strict=True))

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.sim.clock import SimClock
-from repro.sim.device import DeviceProfile, SimDevice, ZERO_COST
+from repro.sim.device import ZERO_COST, DeviceProfile, SimDevice
 from repro.sim.iostats import IoStats
 
 

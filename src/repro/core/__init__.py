@@ -20,19 +20,19 @@
   workflows the paper's introduction walks through.
 """
 
-from repro.core.page_undo import PreparedVersion, prepare_page_as_of, prepare_page_version
-from repro.core.split_lsn import find_split_lsn, checkpoint_chain
 from repro.core.asof import AsOfSnapshot
-from repro.core.snapshot_pool import PoolStats, SnapshotPool
-from repro.core.version_store import PageVersionStore, VersionStoreStats
-from repro.core.retention import enforce_retention, retention_horizon
+from repro.core.page_undo import PreparedVersion, prepare_page_as_of, prepare_page_version
 from repro.core.recovery_tools import (
     diff_table,
     find_when_table_existed,
     recover_dropped_table,
     restore_rows,
 )
+from repro.core.retention import enforce_retention, retention_horizon
+from repro.core.snapshot_pool import PoolStats, SnapshotPool
+from repro.core.split_lsn import checkpoint_chain, find_split_lsn
 from repro.core.txn_undo import undo_transaction
+from repro.core.version_store import PageVersionStore, VersionStoreStats
 
 __all__ = [
     "prepare_page_as_of",

@@ -135,7 +135,7 @@ def restore_rows(db, table: str, diff: TableDiff, *, restore_changed: bool = Fal
             for key, past_row, _present_row in diff.changed:
                 changes = {
                     name: value
-                    for name, value in zip(schema.column_names, past_row)
+                    for name, value in zip(schema.column_names, past_row, strict=True)
                     if name not in schema.key
                 }
                 db.update(txn, table, key, changes)

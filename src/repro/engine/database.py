@@ -27,8 +27,8 @@ from repro.errors import (
     CatalogError,
     SnapshotReadOnlyError,
 )
-from repro.storage.buffer import BufferPool
 from repro.storage.allocation import AllocationManager
+from repro.storage.buffer import BufferPool
 from repro.storage.datafile import FileManager, MemoryDataFile
 from repro.storage.page import PageType
 from repro.txn.locks import LockManager, LockMode
@@ -222,7 +222,7 @@ class Database:
         if self._is_fresh():
             self._bootstrap()
         else:
-            self._load_boot()
+            self.reload_boot()
 
     # ------------------------------------------------------------------
     # Bootstrap / boot page
@@ -237,13 +237,13 @@ class Database:
     def _bootstrap(self) -> None:
         """Create the boot page, allocation map, and system catalog."""
         from repro.catalog.catalog import (
+            KIND_SYSTEM,
             SYS_COLUMNS_ID,
             SYS_COLUMNS_ROOT,
             SYS_COLUMNS_SCHEMA,
             SYS_OBJECTS_ID,
             SYS_OBJECTS_ROOT,
             SYS_OBJECTS_SCHEMA,
-            KIND_SYSTEM,
         )
 
         txn = self.txns.begin(system=True)
@@ -305,7 +305,14 @@ class Database:
         self.txns.commit(txn)
         self.checkpoint()
 
-    def _load_boot(self) -> None:
+    def reload_boot(self) -> None:
+        """(Re)read the boot page into the metadata cache.
+
+        Replicas and restore paths call this after materializing or
+        replaying the boot page; it is the public counterpart of
+        :meth:`invalidate_caches` for state that must be *eagerly*
+        refreshed (``last_checkpoint_lsn`` feeds recovery decisions).
+        """
         with self.fetch_page(BOOT_PAGE_ID) as guard:
             boot = read_boot_record(guard.page)
         self._boot_cache = boot
@@ -313,7 +320,7 @@ class Database:
 
     def boot_record(self) -> BootRecord:
         if self._boot_cache is None:
-            self._load_boot()
+            self.reload_boot()
         return self._boot_cache
 
     def update_boot(self, **changes) -> None:
@@ -498,12 +505,23 @@ class Database:
 
         The replica apply loop calls this after replaying records that
         touch the boot page or the system catalog — the caches would
-        otherwise serve the pre-replay metadata.
+        otherwise serve the pre-replay metadata. Assigns fresh containers
+        (rather than clearing) so restore shells built via ``__new__``
+        can also use it to create the caches in the first place.
         """
         self._boot_cache = None
-        self._table_cache.clear()
-        self._tree_cache.clear()
-        self._ckpt_chain_cache.clear()
+        self._table_cache = {}
+        self._tree_cache = {}
+        self._ckpt_chain_cache = {}
+
+    def add_retention_pin(self, pin) -> None:
+        """Register a retention pin: a callable returning an LSN the log
+        must retain (or ``NULL_LSN``/``None`` for "no pin")."""
+        self.retention_pins.append(pin)
+
+    def reset_retention_pins(self) -> None:
+        """Drop every registered retention pin (restore shells)."""
+        self.retention_pins = []
 
     def enforce_retention(self) -> int:
         """Truncate log outside the retention window; returns new start LSN."""
@@ -518,11 +536,8 @@ class Database:
         self.locks = LockManager()
         self.txns = TransactionManager(self.env, self.log, self.locks)
         self.txns.undo_context = self
-        self._boot_cache = None
-        self._table_cache.clear()
-        self._tree_cache.clear()
-        self._ckpt_chain_cache.clear()
-        self.alloc._hints.clear()
+        self.invalidate_caches()
+        self.alloc.clear_hints()
         self.snapshots.clear()
         if self.version_store is not None:
             # The volatile log tail is gone; recovery will write *new*
@@ -537,8 +552,7 @@ class Database:
         from repro.engine.recovery import run_crash_recovery
 
         run_crash_recovery(self)
-        self._boot_cache = None
-        self._load_boot()
+        self.reload_boot()
 
     # ------------------------------------------------------------------
 

@@ -121,7 +121,7 @@ class Engine:
 
     def _register_pool_pin(self, db: Database) -> None:
         """Pooled splits pin the database's log against retention."""
-        db.retention_pins.append(
+        db.add_retention_pin(
             lambda name=db.name: self.snapshot_pool.min_pin_lsn(name)
         )
 

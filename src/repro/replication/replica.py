@@ -129,7 +129,7 @@ class Replica:
         self.applied_lsn = seed_lsn
         self.db.publish_horizon_lsn = seed_lsn
         self.db.invalidate_caches()
-        self.db._load_boot()
+        self.db.reload_boot()
         # The backup's boot page names the checkpoint the chain is
         # consistent with — the SplitLSN search anchor until newer
         # checkpoints arrive through the stream.
@@ -229,7 +229,7 @@ class Replica:
             with self.db.fetch_page(BOOT_PAGE_ID) as guard:
                 boot_ready = guard.page.is_formatted()
             if boot_ready:
-                self.db._load_boot()
+                self.db.reload_boot()
                 # The boot page trails the received log; keep the newest
                 # shipped checkpoint as the SplitLSN search anchor.
                 self.db.last_checkpoint_lsn = max(
@@ -352,7 +352,7 @@ class Replica:
         # The receive-time checkpoint anchor may point into the discarded
         # tail; the boot page of the applied state is the truth now.
         self.db.invalidate_caches()
-        self.db._load_boot()
+        self.db.reload_boot()
         base = NULL_LSN
         for lsn, _wall, _prev in checkpoint_chain(self.db):
             base = lsn

@@ -63,7 +63,7 @@ class LogShipper:
         self.batch_bytes = batch_bytes
         self.stats = ShipperStats()
         self._subs: dict[str, _Subscription] = {}
-        db.retention_pins.append(self._retention_pin)
+        db.add_retention_pin(self._retention_pin)
 
     # ------------------------------------------------------------------
     # Subscriptions

@@ -9,10 +9,22 @@ in the paper's figures map to simulated minutes here, reproducibly.
 
 from __future__ import annotations
 
+import time
 from datetime import datetime, timedelta, timezone
 
 #: Simulated epoch: timestamps render as dates near the paper's publication.
 SIM_EPOCH = datetime(2012, 3, 22, 12, 0, 0, tzinfo=timezone.utc)
+
+
+def host_perf_counter() -> float:
+    """Real (host) monotonic seconds, for benchmark *reporting* only.
+
+    Engine code never reads the host clock — replay determinism depends
+    on it (reprolint rule RL003 enforces this). The sim layer owns the
+    boundary to the real world, so tooling that wants to report how long
+    a run took on the host goes through this single function.
+    """
+    return time.perf_counter()
 
 
 class SimClock:

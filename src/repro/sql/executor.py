@@ -16,6 +16,7 @@ reconcile step works inline too:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.catalog.schema import TableSchema
 from repro.errors import (
@@ -23,6 +24,7 @@ from repro.errors import (
     SqlExecutionError,
 )
 from repro.sql.parser import (
+    STAR,
     Aggregate,
     AlterUndoInterval,
     BackupDatabase,
@@ -39,7 +41,6 @@ from repro.sql.parser import (
     IsNull,
     Literal,
     RestoreDatabase,
-    STAR,
     Select,
     Show,
     TableRef,
@@ -291,7 +292,7 @@ class Session:
         names = schema.column_names
         out = []
         for row in reader.scan(stmt.table.name):
-            mapping = dict(zip(names, row))
+            mapping = dict(zip(names, row, strict=True))
             if stmt.where is not None and not _eval(stmt.where, mapping):
                 continue
             out.append(mapping)
@@ -318,7 +319,7 @@ class Session:
             for col, ascending in reversed(stmt.order_by):
                 if col not in schema.column_names:
                     raise SqlExecutionError(f"unknown ORDER BY column {col!r}")
-                filtered.sort(key=lambda m: m[col], reverse=not ascending)
+                filtered.sort(key=itemgetter(col), reverse=not ascending)
 
         columns: list[str] = []
         projections = []
@@ -390,7 +391,7 @@ class Session:
                     raise SqlExecutionError(
                         f"INSERT expects {len(columns)} values, got {len(values)}"
                     )
-                db.insert(txn, stmt.table.name, dict(zip(columns, values)))
+                db.insert(txn, stmt.table.name, dict(zip(columns, values, strict=True)))
                 inserted += 1
             return Result(rowcount=inserted, message=f"INSERT {inserted}")
 
@@ -404,7 +405,7 @@ class Session:
         def run(txn) -> Result:
             matched = []
             for row in db.scan(stmt.table.name):
-                mapping = dict(zip(schema.column_names, row))
+                mapping = dict(zip(schema.column_names, row, strict=True))
                 if stmt.where is None or _eval(stmt.where, mapping):
                     matched.append(mapping)
             for mapping in matched:
@@ -429,7 +430,7 @@ class Session:
         def run(txn) -> Result:
             keys = []
             for row in db.scan(stmt.table.name):
-                mapping = dict(zip(schema.column_names, row))
+                mapping = dict(zip(schema.column_names, row, strict=True))
                 if stmt.where is None or _eval(stmt.where, mapping):
                     keys.append(tuple(mapping[c] for c in schema.key))
             for key in keys:

@@ -6,6 +6,8 @@ id. Pages carry a ``pageLSN`` (last log record that modified them) and a
 fields that page-oriented undo navigates by.
 """
 
+from repro.storage.buffer import BufferPool, FrameGuard
+from repro.storage.datafile import FileManager, MemoryDataFile, OnDiskDataFile
 from repro.storage.page import (
     HEADER_SIZE,
     NULL_PAGE,
@@ -14,9 +16,7 @@ from repro.storage.page import (
     alloc_bitmap_geometry,
 )
 from repro.storage.rowcodec import RowCodec
-from repro.storage.datafile import FileManager, MemoryDataFile, OnDiskDataFile
 from repro.storage.sparsefile import SparseFile
-from repro.storage.buffer import BufferPool, FrameGuard
 
 __all__ = [
     "Page",

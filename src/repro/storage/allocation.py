@@ -46,6 +46,10 @@ class AllocationManager:
         #: Per-map search hints (soft state, safe to reset at any time).
         self._hints: dict[int, int] = {}
 
+    def clear_hints(self) -> None:
+        """Drop the soft allocation-search hints (crash simulation)."""
+        self._hints.clear()
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 import os
 
 from repro.errors import StorageError
+from repro.sim import hostio
 from repro.sim.device import SimDevice
 from repro.sim.iostats import IoStats
 from repro.storage.checksum import stamp_checksum, verify_and_clear_checksum
@@ -87,8 +88,7 @@ class OnDiskDataFile(DataFile):
     def __init__(self, path: str, page_size: int) -> None:
         self.page_size = page_size
         self.path = path
-        flags = "r+b" if os.path.exists(path) else "w+b"
-        self._file = open(path, flags)
+        self._file = hostio.create_or_open(path)
 
     def read_page(self, page_id: int) -> bytearray:
         if page_id < 0:
@@ -114,8 +114,7 @@ class OnDiskDataFile(DataFile):
         return self._file.tell() // self.page_size
 
     def flush(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        hostio.fsync(self._file)
 
     def close(self) -> None:
         self._file.close()

@@ -70,7 +70,7 @@ class RowCodec:
         self.schema.check_row(row)
         bitmap = bytearray(self._bitmap_len)
         body = bytearray()
-        for index, (ctype, value) in enumerate(zip(self._types, row)):
+        for index, (ctype, value) in enumerate(zip(self._types, row, strict=True)):
             if value is None:
                 bitmap[index // 8] |= 1 << (index % 8)
             else:
@@ -128,7 +128,7 @@ class KeyCodec:
                 f"key arity mismatch: expected {len(self.ctypes)}, got {len(key)}"
             )
         out = bytearray()
-        for ctype, value in zip(self.ctypes, key):
+        for ctype, value in zip(self.ctypes, key, strict=True):
             if value is None:
                 raise StorageError("key values cannot be NULL")
             _encode_value(ctype, value, out)

@@ -6,6 +6,7 @@ Figures 1/2, live), per-transaction traces, and a structural consistency
 checker in the spirit of ``DBCC CHECKDB``.
 """
 
+from repro.tools.checkdb import CheckReport, check_database
 from repro.tools.loginspect import (
     describe_record,
     dump_archive,
@@ -15,7 +16,6 @@ from repro.tools.loginspect import (
     page_history,
     transaction_history,
 )
-from repro.tools.checkdb import check_database, CheckReport
 
 __all__ = [
     "describe_record",

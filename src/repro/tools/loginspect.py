@@ -264,18 +264,14 @@ def chain_report(db, *, split_lsn: int | None = None, max_pages: int | None = No
     return lines
 
 
-def archive_chain_report(source, db_name: str | None = None) -> list[str]:
-    """Per-page chain-length histogram over *archived* segments.
+def _collect_segments(source, db_name: str | None) -> list[tuple[str, bytes]]:
+    """``(label, blob)`` for every segment of ``source``, in LSN order.
 
-    An archive has no page state to walk back from, but every page
-    modification record it holds is one link of some page's chain — so
-    grouping the archived records by page id reproduces the chain-length
-    distribution over the archived window (what an as-of read landing at
-    the window's start would have to undo per page).
+    ``source`` may be an ArchiveStore, a ``.seg`` file path, or a
+    directory of them; the label is the file name (path mode) or the
+    database name (store mode), for use in diagnostics.
     """
-    from repro.replication.stream import LogFrame
-
-    blobs: list[bytes] = []
+    out: list[tuple[str, bytes]] = []
     if isinstance(source, (str, os.PathLike)):
         path = os.fspath(source)
         paths = (
@@ -289,11 +285,26 @@ def archive_chain_report(source, db_name: str | None = None) -> list[str]:
         )
         for seg_path in paths:
             with open(seg_path, "rb") as fh:
-                blobs.append(fh.read())
+                out.append((os.path.basename(seg_path), fh.read()))
     else:
         names = [db_name] if db_name is not None else source.database_names()
         for name in names:
-            blobs.extend(seg.blob for seg in source.segments(name))
+            out.extend((name, seg.blob) for seg in source.segments(name))
+    return out
+
+
+def archive_chain_report(source, db_name: str | None = None) -> list[str]:
+    """Per-page chain-length histogram over *archived* segments.
+
+    An archive has no page state to walk back from, but every page
+    modification record it holds is one link of some page's chain — so
+    grouping the archived records by page id reproduces the chain-length
+    distribution over the archived window (what an as-of read landing at
+    the window's start would have to undo per page).
+    """
+    from repro.replication.stream import LogFrame
+
+    blobs = [blob for _label, blob in _collect_segments(source, db_name)]
     lengths: dict[int, int] = {}
     for blob in blobs:
         frame = LogFrame.decode(blob)
@@ -350,7 +361,8 @@ def _segment_file_matches(name: str, db_name: str | None) -> bool:
     if len(parts) != 3 or not all(len(p) == 16 for p in parts[1:]):
         return False
     try:
-        int(parts[1], 16), int(parts[2], 16)
+        int(parts[1], 16)
+        int(parts[2], 16)
     except ValueError:
         return False
     return db_name is None or parts[0] == db_name
@@ -359,33 +371,76 @@ def _segment_file_matches(name: str, db_name: str | None) -> bool:
 def dump_archive(source, db_name: str | None = None, *, limit: int = 100) -> list[str]:
     """Describe archived segments from an ArchiveStore, a ``.seg`` file,
     or a directory of them; at most ``limit`` record lines overall."""
-    blobs: list[bytes] = []
-    if isinstance(source, (str, os.PathLike)):
-        path = os.fspath(source)
-        paths = (
-            sorted(
-                os.path.join(path, name)
-                for name in os.listdir(path)
-                if _segment_file_matches(name, db_name)
-            )
-            if os.path.isdir(path)
-            else [path]
-        )
-        for seg_path in paths:
-            with open(seg_path, "rb") as fh:
-                blobs.append(fh.read())
-    else:
-        names = [db_name] if db_name is not None else source.database_names()
-        for name in names:
-            blobs.extend(seg.blob for seg in source.segments(name))
     lines: list[str] = []
-    for blob in blobs:
+    for _label, blob in _collect_segments(source, db_name):
         remaining = limit - len(lines)
         if remaining <= 0:
             lines.append("...")
             break
         lines.extend(dump_archived_segment(blob, limit=remaining))
     return lines
+
+
+def lint_log_segments(source, db_name: str | None = None):
+    """Integrity micro-check over archived log segments.
+
+    Verifies what the analyzer's source rules cannot: the *artifacts*.
+    Every segment must decode (magic, length, CRC — ``LOG001``), its
+    records must exactly tile the payload (``LOG002``), and segment
+    extents must be LSN-monotonic with no overlap or gap (``LOG003``).
+    Returns :class:`repro.analysis.findings.Finding` objects so the
+    reprolint reporters render them.
+    """
+    from repro.analysis.findings import Finding
+    from repro.errors import ReproError
+    from repro.replication.stream import LogFrame
+
+    findings = []
+    prev_end: dict[str, tuple[str, int]] = {}
+    for index, (label, blob) in enumerate(_collect_segments(source, db_name)):
+        try:
+            frame = LogFrame.decode(blob)
+        except ReproError as err:
+            findings.append(
+                Finding(label, index, 0, "LOG001", f"undecodable segment: {err}")
+            )
+            continue
+        db_key = label.rsplit("-", 2)[0]
+        offset = 0
+        while offset < len(frame.payload):
+            try:
+                _record, offset = decode_record(
+                    frame.payload, offset, frame.start_lsn + offset
+                )
+            except (ReproError, ValueError) as err:
+                findings.append(
+                    Finding(
+                        label,
+                        index,
+                        offset,
+                        "LOG002",
+                        f"record stream broken at "
+                        f"{format_lsn(frame.start_lsn + offset)}: {err}",
+                    )
+                )
+                break
+        previous = prev_end.get(db_key)
+        if previous is not None:
+            prev_label, end_lsn = previous
+            if frame.start_lsn != end_lsn:
+                kind = "overlaps" if frame.start_lsn < end_lsn else "leaves a gap after"
+                findings.append(
+                    Finding(
+                        label,
+                        index,
+                        0,
+                        "LOG003",
+                        f"segment starts at {format_lsn(frame.start_lsn)} but "
+                        f"{kind} {prev_label} ending at {format_lsn(end_lsn)}",
+                    )
+                )
+        prev_end[db_key] = (label, frame.end_lsn)
+    return findings
 
 
 def main(argv=None) -> int:
@@ -420,7 +475,23 @@ def main(argv=None) -> int:
         help="histogram of per-page modification-chain lengths instead "
         "of a record dump (estimates as-of prepare cost)",
     )
+    parser.add_argument(
+        "--lint-log",
+        action="store_true",
+        help="integrity check instead of a dump: segments must decode "
+        "CRC-clean, tile into records, and be LSN-monotonic; exits 1 "
+        "on findings",
+    )
     args = parser.parse_args(argv)
+    if args.lint_log:
+        from repro.analysis.reporters import render_text
+
+        findings = lint_log_segments(args.archive, args.db)
+        for line in render_text(findings, baselined=()):
+            print(line)
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"loginspect --lint-log: {len(findings)} {noun}")
+        return 1 if findings else 0
     if args.chains:
         lines = archive_chain_report(args.archive, args.db)
     else:

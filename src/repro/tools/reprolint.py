@@ -1,0 +1,131 @@
+"""reprolint CLI: run the engine-invariant rules over source trees.
+
+Usage::
+
+    python -m repro.tools.reprolint src/ tests/
+    python -m repro.tools.reprolint --list-rules
+    python -m repro.tools.reprolint src/ --format json
+    python -m repro.tools.reprolint src/ tests/ --gate   # CI: exit 1 on
+                                                         # unbaselined findings
+
+Exit status is 1 whenever unbaselined findings exist (``--gate`` is the
+explicit spelling CI uses; it additionally fails on stale baseline
+entries so the committed baseline can only shrink). Findings already in
+the committed baseline (``reprolint-baseline.json``) are reported but do
+not gate; this repo's baseline is empty — every pre-existing violation
+was fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.findings import Baseline
+from repro.analysis.framework import Analyzer, all_rules, iter_python_files
+from repro.analysis.reporters import render_json, render_text, summary
+from repro.sim.clock import host_perf_counter
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def _parse_rule_set(spec: str | None) -> set[str] | None:
+    if spec is None:
+        return None
+    return {rule.strip().upper() for rule in spec.split(",") if rule.strip()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Engine-invariant static analysis (LSN, priced I/O, "
+        "determinism, error surface, shared state).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule ids to run"
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="CI mode: also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--no-snippets", action="store_true", help="omit source snippets"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id} {rule_cls.name}")
+            print(f"    {rule_cls.invariant}")
+        return 0
+
+    start = host_perf_counter()
+    try:
+        analyzer = Analyzer(
+            select=_parse_rule_set(args.select),
+            ignore=_parse_rule_set(args.ignore),
+        )
+    except ValueError as err:
+        parser.error(str(err))
+    findings = analyzer.check_paths(args.paths)
+    files = sum(1 for _ in iter_python_files(args.paths))
+    elapsed = host_perf_counter() - start
+
+    if args.write_baseline:
+        content = Baseline().dump(findings)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    baseline = Baseline()
+    if os.path.exists(args.baseline):
+        baseline = Baseline.load(args.baseline)
+    new, baselined = baseline.split(findings)
+    stale = baseline.stale_entries(findings)
+
+    if args.fmt == "json":
+        print(render_json(new, baselined=baselined))
+    else:
+        for line in render_text(
+            new, baselined=baselined, show_snippets=not args.no_snippets
+        ):
+            print(line)
+        print(summary(new, baselined, files, elapsed))
+        for rule, path, message in sorted(stale):
+            print(f"stale baseline entry: {rule} {path}: {message}")
+
+    if new:
+        return 1
+    if args.gate and stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    sys.exit(main())

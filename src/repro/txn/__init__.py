@@ -8,8 +8,8 @@ a rollback.
 """
 
 from repro.txn.locks import LockManager, LockMode
-from repro.txn.transaction import Transaction, TxnState
 from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction, TxnState
 
 __all__ = [
     "LockManager",

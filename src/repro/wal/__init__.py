@@ -8,6 +8,8 @@ re-allocation, undo information in CLRs and in structure-modification
 deletes, and periodic full page images (section 6.1).
 """
 
+from repro.wal.apply import PageModifier
+from repro.wal.log_manager import LogManager
 from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
 from repro.wal.records import (
     LOG_HEADER_MAGIC,
@@ -32,8 +34,6 @@ from repro.wal.records import (
     decode_record,
     unpack_header,
 )
-from repro.wal.log_manager import LogManager
-from repro.wal.apply import PageModifier
 
 __all__ = [
     "NULL_LSN",

@@ -507,7 +507,7 @@ class FormatPageRecord(LogRecord):
 
     def __init__(
         self,
-        page_type: int = int(PageType.UNFORMATTED),
+        page_type: int = PageType.UNFORMATTED,
         index_id: int = 0,
         level: int = 0,
         prev_page: int = NULL_PAGE,

@@ -7,8 +7,9 @@ stream whose log the as-of machinery rewinds, and the stock-level
 procedure is the as-of query measured in Figures 7-11.
 """
 
+from repro.workload.driver import TpccDriver, TpccResult
+from repro.workload.tpcc_loader import add_filler_table, load_tpcc
 from repro.workload.tpcc_schema import TPCC_SCHEMAS, TpccScale
-from repro.workload.tpcc_loader import load_tpcc, add_filler_table
 from repro.workload.tpcc_txns import (
     delivery,
     new_order,
@@ -16,7 +17,6 @@ from repro.workload.tpcc_txns import (
     payment,
     stock_level,
 )
-from repro.workload.driver import TpccDriver, TpccResult
 
 __all__ = [
     "TpccScale",

@@ -5,9 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.catalog.catalog import (
+    FIRST_USER_OBJECT_ID,
     SYS_COLUMNS_ID,
     SYS_OBJECTS_ID,
-    FIRST_USER_OBJECT_ID,
 )
 from repro.errors import CatalogError
 from tests.conftest import ITEMS_SCHEMA, WIDE_SCHEMA
@@ -40,7 +40,7 @@ class TestCreateTable:
         loaded = db.catalog.load_schema(info)
         assert loaded.column_names == WIDE_SCHEMA.column_names
         assert loaded.key == WIDE_SCHEMA.key
-        for orig, got in zip(WIDE_SCHEMA.columns, loaded.columns):
+        for orig, got in zip(WIDE_SCHEMA.columns, loaded.columns, strict=True):
             assert (orig.name, orig.ctype, orig.nullable, orig.max_len) == (
                 got.name,
                 got.ctype,

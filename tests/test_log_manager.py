@@ -112,7 +112,7 @@ class TestRead:
     def test_cache_eviction(self):
         log, env = make_log(log_profile=SAS_10K, block_size=256, cache_blocks=2)
         lsns = []
-        for i in range(40):
+        for _ in range(40):
             lsns.append(log.append(InsertRowRecord(slot=0, row=bytes(50), page_id=1)))
         log.flush()
         log.read(lsns[0], for_undo=True)

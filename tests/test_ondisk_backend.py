@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from repro import DatabaseConfig
-from repro.storage.datafile import OnDiskDataFile
 from repro.engine.database import Database
+from repro.storage.datafile import OnDiskDataFile
 from tests.conftest import ITEMS_SCHEMA, fill_items
 
 

@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import DatabaseConfig, Engine
+from repro.errors import SnapshotError
 from tests.conftest import ITEMS_SCHEMA
 
 _txn_op = st.tuples(
@@ -130,5 +131,5 @@ def test_prepare_page_counters_monotone(engine, items_db):
     spent = db.env.stats.delta(before)
     assert spent.pages_prepared_asof > 0
     assert spent.undo_records_applied >= 10
-    with pytest.raises(Exception):
+    with pytest.raises(SnapshotError):
         engine.snapshot("nonexistent")

@@ -1,0 +1,304 @@
+"""reprolint tests: one flagged + one clean fixture per rule, the
+suppression machinery, the baseline, and the log-artifact lint."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import Analyzer, Baseline
+from repro.analysis.framework import all_rules
+from repro.replication.stream import LogFrame
+from repro.tools.loginspect import lint_log_segments
+from repro.tools.reprolint import main as reprolint_main
+from repro.wal.lsn import FIRST_LSN
+from repro.wal.records import InsertRowRecord
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def check(source, relpath, select=None):
+    analyzer = Analyzer(select=select)
+    return analyzer.check_source(source, relpath)
+
+
+class TestFramework:
+    def test_every_rule_registered(self):
+        assert set(all_rules()) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+
+    def test_syntax_error_reported_as_rl000(self):
+        findings = check("def broken(:\n", "src/repro/engine/x.py")
+        assert rules_of(findings) == ["RL000"]
+
+    def test_path_scope_excludes_out_of_scope_files(self):
+        # Raw open() is legal outside the priced-I/O directories.
+        findings = check("open('x')\n", "src/repro/tools/x.py", {"RL002"})
+        assert findings == []
+
+
+class TestLsnDiscipline:
+    def test_literal_comparison_flagged(self):
+        src = "def f(commit_lsn):\n    return commit_lsn == 42\n"
+        findings = check(src, "src/repro/engine/x.py", {"RL001"})
+        assert rules_of(findings) == ["RL001"]
+        assert "42" in findings[0].message
+
+    def test_literal_assignment_and_keyword_and_default_flagged(self):
+        src = (
+            "def f(start_lsn=8):\n"
+            "    split_lsn = 16\n"
+            "    g(from_lsn=0)\n"
+        )
+        findings = check(src, "src/repro/core/x.py", {"RL001"})
+        assert rules_of(findings) == ["RL001", "RL001", "RL001"]
+
+    def test_symbolic_constants_and_arithmetic_clean(self):
+        src = (
+            "from repro.wal.lsn import NULL_LSN\n"
+            "def f(end_lsn, prev_lsn=NULL_LSN):\n"
+            "    if end_lsn == NULL_LSN:\n"
+            "        return prev_lsn\n"
+            "    return end_lsn - prev_lsn\n"
+        )
+        assert check(src, "src/repro/engine/x.py", {"RL001"}) == []
+
+    def test_lsn_module_itself_exempt(self):
+        src = "NULL_LSN = 0\nFIRST_LSN = 8\n"
+        assert check(src, "src/repro/wal/lsn.py", {"RL001"}) == []
+
+    def test_booleans_are_not_integers(self):
+        src = "def f(has_lsn):\n    return has_lsn == True\n"
+        assert check(src, "src/repro/engine/x.py", {"RL001"}) == []
+
+
+class TestPricedIoDiscipline:
+    def test_raw_open_flagged_in_scope(self):
+        src = "def f(path):\n    return open(path, 'rb').read()\n"
+        findings = check(src, "src/repro/storage/x.py", {"RL002"})
+        assert rules_of(findings) == ["RL002"]
+
+    def test_os_calls_flagged_through_import_alias(self):
+        src = (
+            "import os as host\n"
+            "def f(fh):\n"
+            "    host.fsync(fh.fileno())\n"
+        )
+        findings = check(src, "src/repro/wal/x.py", {"RL002"})
+        assert rules_of(findings) == ["RL002"]
+
+    def test_hostio_boundary_clean(self):
+        src = (
+            "from repro.sim import hostio\n"
+            "def f(path, blob):\n"
+            "    hostio.write_blob(path, blob)\n"
+        )
+        assert check(src, "src/repro/archive/x.py", {"RL002"}) == []
+
+    def test_chain_walk_read_bytes_flagged_read_many_clean(self):
+        src = (
+            "def walk(log, spans):\n"
+            "    log.read_bytes(spans[0], 10)\n"
+            "    return log.read_many(spans)\n"
+        )
+        findings = check(src, "src/repro/core/x.py", {"RL002"})
+        assert rules_of(findings) == ["RL002"]
+        assert "read_bytes" in findings[0].message
+
+
+class TestReplayDeterminism:
+    def test_host_clock_flagged(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        findings = check(src, "src/repro/engine/x.py", {"RL003"})
+        assert rules_of(findings) == ["RL003"]
+
+    def test_from_import_resolved(self):
+        src = "from time import perf_counter\nx = perf_counter()\n"
+        findings = check(src, "src/repro/bench/x.py", {"RL003"})
+        assert rules_of(findings) == ["RL003"]
+
+    def test_global_rng_flagged_seeded_rng_clean(self):
+        src = (
+            "import random\n"
+            "bad = random.random()\n"
+            "good = random.Random(7).random()\n"
+        )
+        findings = check(src, "src/repro/workload/x.py", {"RL003"})
+        assert rules_of(findings) == ["RL003"]
+        assert findings[0].line == 2
+
+    def test_sim_clock_and_host_boundary_clean(self):
+        src = (
+            "from repro.sim.clock import host_perf_counter\n"
+            "def f(env):\n"
+            "    return env.clock.now() + host_perf_counter()\n"
+        )
+        assert check(src, "src/repro/tools/x.py", {"RL003"}) == []
+
+
+class TestErrorSurfaceDiscipline:
+    def test_unprotected_log_read_in_public_method_flagged(self):
+        src = (
+            "class Engine:\n"
+            "    def query_as_of(self, lsn):\n"
+            "        return self.log.read(lsn)\n"
+        )
+        findings = check(src, "src/repro/engine/engine.py", {"RL004"})
+        assert rules_of(findings) == ["RL004"]
+        assert "query_as_of" in findings[0].message
+
+    def test_protected_log_read_clean(self):
+        src = (
+            "from repro.errors import LogTruncatedError, RetentionExceededError\n"
+            "class Engine:\n"
+            "    def query_as_of(self, lsn):\n"
+            "        try:\n"
+            "            return self.log.read(lsn)\n"
+            "        except LogTruncatedError as err:\n"
+            "            raise RetentionExceededError(str(err)) from err\n"
+        )
+        assert check(src, "src/repro/engine/engine.py", {"RL004"}) == []
+
+    def test_private_method_not_a_public_surface(self):
+        src = (
+            "class Engine:\n"
+            "    def _walk(self, lsn):\n"
+            "        return self.log.read(lsn)\n"
+        )
+        assert check(src, "src/repro/engine/engine.py", {"RL004"}) == []
+
+
+class TestSharedStateDiscipline:
+    def test_cross_module_mutation_flagged(self):
+        src = "def hook(db, pin):\n    db.retention_pins.append(pin)\n"
+        findings = check(src, "src/repro/replication/x.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+        assert "retention_pins" in findings[0].message
+
+    def test_owner_module_mutation_clean(self):
+        src = "def hook(self, pin):\n    self.retention_pins.append(pin)\n"
+        assert check(src, "src/repro/engine/database.py", {"RL005"}) == []
+
+    def test_guarded_mutation_clean(self):
+        src = (
+            "def hook(db, pin):\n"
+            "    with db.latch:\n"
+            "        db.retention_pins.append(pin)\n"
+        )
+        assert check(src, "src/repro/replication/x.py", {"RL005"}) == []
+
+    def test_private_method_of_shared_owner_flagged(self):
+        src = "def refresh(db):\n    db._load_boot()\n"
+        findings = check(src, "src/repro/backup/x.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+        assert "_load_boot" in findings[0].message
+
+    def test_rebinding_shared_attribute_flagged(self):
+        src = "def reset(db):\n    db.retention_pins = []\n"
+        findings = check(src, "src/repro/backup/x.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+
+
+class TestSuppressions:
+    SRC = "import time\nx = time.time()  # reprolint: ignore[RL003]\n"
+
+    def test_targeted_suppression(self):
+        assert check(self.SRC, "src/repro/engine/x.py", {"RL003"}) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "import time\nx = time.time()  # reprolint: ignore[RL001]\n"
+        findings = check(src, "src/repro/engine/x.py", {"RL003"})
+        assert rules_of(findings) == ["RL003"]
+
+    def test_blanket_suppression(self):
+        src = "import time\nx = time.time()  # reprolint: ignore\n"
+        assert check(src, "src/repro/engine/x.py", {"RL003"}) == []
+
+    def test_skip_file(self):
+        src = "# reprolint: skip-file\nimport time\nx = time.time()\n"
+        assert check(src, "src/repro/engine/x.py", {"RL003"}) == []
+
+
+class TestBaseline:
+    def test_split_and_stale(self, tmp_path):
+        src = "import time\nx = time.time()\n"
+        findings = check(src, "src/repro/engine/x.py", {"RL003"})
+        assert len(findings) == 1
+        path = tmp_path / "baseline.json"
+        path.write_text(Baseline().dump(findings))
+        baseline = Baseline.load(str(path))
+        new, baselined = baseline.split(findings)
+        assert new == [] and baselined == findings
+        assert baseline.stale_entries([]) == {findings[0].identity()}
+
+    def test_repo_baseline_is_empty(self):
+        baseline = Baseline.load("reprolint-baseline.json")
+        assert baseline.split([])[1] == []
+        assert baseline.stale_entries([]) == set()
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert reprolint_main([str(tmp_path)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_gate_fails_on_violation(self, tmp_path, capsys, monkeypatch):
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import time\nx = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        assert reprolint_main(["src", "--gate"]) == 1
+        assert "RL003" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+
+class TestLogLint:
+    @staticmethod
+    def _segment(start_lsn):
+        record = InsertRowRecord(slot=0, row=bytes(20), page_id=1)
+        record.lsn = start_lsn
+        return LogFrame(start_lsn, record.serialize(), ship_wall=0.0).encode()
+
+    def _write(self, directory, blob, start_lsn, end_lsn, name="t"):
+        path = os.path.join(
+            directory, f"{name}-{start_lsn:016x}-{end_lsn:016x}.seg"
+        )
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        return path
+
+    def test_clean_archive(self, tmp_path):
+        blob = self._segment(FIRST_LSN)
+        frame = LogFrame.decode(blob)
+        nxt = self._segment(frame.end_lsn)
+        self._write(str(tmp_path), blob, FIRST_LSN, frame.end_lsn)
+        self._write(
+            str(tmp_path), nxt, frame.end_lsn, LogFrame.decode(nxt).end_lsn
+        )
+        assert lint_log_segments(str(tmp_path)) == []
+
+    def test_crc_corruption_flagged(self, tmp_path):
+        blob = bytearray(self._segment(FIRST_LSN))
+        blob[-1] ^= 0xFF
+        end = FIRST_LSN + 64
+        self._write(str(tmp_path), bytes(blob), FIRST_LSN, end)
+        findings = lint_log_segments(str(tmp_path))
+        assert rules_of(findings) == ["LOG001"]
+
+    def test_gap_between_segments_flagged(self, tmp_path):
+        blob = self._segment(FIRST_LSN)
+        end = LogFrame.decode(blob).end_lsn
+        skipped = self._segment(end + 512)
+        self._write(str(tmp_path), blob, FIRST_LSN, end)
+        self._write(
+            str(tmp_path), skipped, end + 512, LogFrame.decode(skipped).end_lsn
+        )
+        findings = lint_log_segments(str(tmp_path))
+        assert rules_of(findings) == ["LOG003"]
+        assert "gap" in findings[0].message

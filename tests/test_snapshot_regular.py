@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import SnapshotError
 from tests.conftest import fill_items
 
 
@@ -91,5 +92,5 @@ class TestCowSnapshot:
         fill_items(items_db, 3)
         engine.create_snapshot("itemsdb", "victim")
         engine.drop_database("itemsdb")
-        with pytest.raises(Exception):
+        with pytest.raises(SnapshotError):
             engine.snapshot("victim")

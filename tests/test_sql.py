@@ -6,6 +6,7 @@ import pytest
 
 from repro import Engine
 from repro.errors import (
+    CatalogError,
     SnapshotReadOnlyError,
     SqlExecutionError,
     SqlSyntaxError,
@@ -287,7 +288,7 @@ class TestSnapshotSql:
 
 class TestErrors:
     def test_unknown_table(self, session):
-        with pytest.raises(Exception):
+        with pytest.raises(CatalogError):
             session.execute("SELECT * FROM ghost")
 
     def test_unknown_column(self, session):

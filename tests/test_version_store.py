@@ -394,7 +394,7 @@ def test_truncation_gc_spares_pinned_pooled_split(items_schema):
     db.enforce_retention()
     assert db.log.start_lsn > 0
     leftover = engine.version_store.versions("vdb", 0)
-    for version_lsn, limit_lsn in leftover:
+    for _version_lsn, limit_lsn in leftover:
         assert limit_lsn > db.log.start_lsn
 
 
