@@ -29,7 +29,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.archive.restore import plan_restore  # noqa: E402
-from repro.bench import ReportTable, save_results  # noqa: E402
+from repro.bench import ReportTable, attach_metrics, save_results  # noqa: E402
 from repro.bench.harness import BENCH_SCALE, build_tpcc, make_perf_env  # noqa: E402
 from repro.errors import RetentionExceededError  # noqa: E402
 from repro.sim.device import SAS_10K, SLC_SSD  # noqa: E402
@@ -122,7 +122,7 @@ def run_archive_bench(smoke: bool = False) -> dict:
         if incremental_sizes
         else 0
     )
-    return {
+    payload = {
         "smoke": smoke,
         "full_backup_bytes": full.size_bytes,
         "incremental_backup_bytes": incremental_sizes,
@@ -137,6 +137,7 @@ def run_archive_bench(smoke: bool = False) -> dict:
         "past_horizon_restore_s": past_horizon_restore_s,
         "past_horizon_stock_level": past_result,
     }
+    return attach_metrics(payload, env)
 
 
 def main(argv=None) -> int:

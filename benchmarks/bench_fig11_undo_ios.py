@@ -44,11 +44,14 @@ def test_fig11_undo_ios(benchmark, show):
         "fig11_undo_ios",
         {
             profile: {
-                str(p.minutes_back): {
-                    "undo_ios": p.undo_ios,
-                    "undo_records": p.undo_records,
-                }
-                for p in result.points
+                "points": {
+                    str(p.minutes_back): {
+                        "undo_ios": p.undo_ios,
+                        "undo_records": p.undo_records,
+                    }
+                    for p in result.points
+                },
+                "metrics": result.metrics,
             }
             for profile, result in results.items()
         },

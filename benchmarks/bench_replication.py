@@ -25,7 +25,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench import ReportTable, save_results  # noqa: E402
+from repro.bench import ReportTable, attach_metrics, save_results  # noqa: E402
 from repro.bench.harness import BENCH_SCALE, build_tpcc, make_perf_env  # noqa: E402
 from repro.sim.device import SLC_SSD  # noqa: E402
 from repro.workload import TpccScale, stock_level  # noqa: E402
@@ -87,7 +87,7 @@ def run_replication_bench(smoke: bool = False) -> dict:
     catchup_s = env.clock.now() - t2
     backlog_bytes = late.stats.bytes_received
 
-    return {
+    payload = {
         "smoke": smoke,
         "tpm": run.tpm,
         "max_lag_bytes": max(lag_samples),
@@ -112,6 +112,7 @@ def run_replication_bench(smoke: bool = False) -> dict:
             backlog_bytes / catchup_s / 1e6 if catchup_s > 0 else 0.0
         ),
     }
+    return attach_metrics(payload, env)
 
 
 def main(argv=None) -> int:

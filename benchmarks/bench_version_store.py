@@ -36,7 +36,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench import ReportTable, save_results  # noqa: E402
+from repro.bench import ReportTable, attach_metrics, save_results  # noqa: E402
 from repro.bench.harness import BENCH_SCALE, build_tpcc, make_perf_env  # noqa: E402
 from repro.config import DatabaseConfig  # noqa: E402
 from repro.sim.device import SLC_SSD  # noqa: E402
@@ -145,7 +145,7 @@ def run_version_store_bench(smoke: bool = False) -> dict:
     payload["warm_nearby_hit_rate"] = warm_nearby["store_hits"] / max(
         1, warm_nearby["store_hits"] + warm_nearby["store_misses"]
     )
-    return payload
+    return attach_metrics(payload, env)
 
 
 def _gate(fresh: dict, baseline_path: str) -> int:
@@ -176,6 +176,27 @@ def _gate(fresh: dict, baseline_path: str) -> int:
             f"below the 3x acceptance floor: REGRESSION"
         )
         failures.append("undo_read_reduction")
+    # The embedded repro.obs.metrics/v1 snapshot carries the registry's
+    # own view of the store; gate on it too so the canonical schema (not
+    # just the ad-hoc sweep fields) is what CI enforces.
+    metrics = fresh.get("metrics", {})
+    if metrics.get("schema") != "repro.obs.metrics/v1":
+        print("gate: payload lacks a repro.obs.metrics/v1 snapshot: REGRESSION")
+        failures.append("metrics_schema")
+    else:
+        got_rate = metrics.get("gauges", {}).get("version_store.hit_rate", 0.0)
+        base_rate = (
+            baseline.get("metrics", {}).get("gauges", {}).get("version_store.hit_rate")
+        )
+        if base_rate is not None:
+            floor = base_rate * (1 - GATE_MARGIN)
+            status = "ok" if got_rate >= floor else "REGRESSION"
+            print(
+                f"gate: metrics.version_store.hit_rate: baseline={base_rate:.3f} "
+                f"fresh={got_rate:.3f} allowed>={floor:.3f} {status}"
+            )
+            if got_rate < floor:
+                failures.append("metrics.version_store.hit_rate")
     if failures:
         print(f"gate: FAILED ({', '.join(failures)})")
         return 1

@@ -76,6 +76,11 @@ SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     {"attr": "_subs", "owners": ("repro/replication/shipper.py",)},
     {"attr": "_segments", "owners": ("repro/archive/store.py",)},
     {"attr": "_backups", "owners": ("repro/archive/store.py",)},
+    # Observability: the metrics instrument table and the tracer's span
+    # stack — engine code holds instrument handles and Span objects, it
+    # never mutates the tables directly.
+    {"attr": "_instruments", "owners": ("repro/obs/registry.py",)},
+    {"attr": "_span_stack", "owners": ("repro/obs/tracer.py",)},
 )
 
 #: Private methods of shared structures that outside modules must not
@@ -153,6 +158,14 @@ NONDETERMINISTIC_CALLS: frozenset[str] = frozenset(
     }
 )
 
+#: The raw host-clock entry point the obs layer wraps (RL006). Host
+#: elapsed time outside the obs/sim layers goes through
+#: repro.obs.timing.host_timing()/HostTimer, never a bare
+#: host_perf_counter() start/stop delta.
+BARE_TIMING_CALLS: frozenset[str] = frozenset(
+    {"repro.sim.clock.host_perf_counter"}
+)
+
 #: random-module functions that drive the *shared, unseeded* global RNG.
 #: (``random.Random(seed)`` / ``random.SystemRandom`` construction is
 #: allowed — the former is the sanctioned idiom.)
@@ -221,6 +234,11 @@ def _default_rules() -> dict[str, RuleConfig]:
                 "shared_methods": SHARED_METHOD_REGISTRY,
                 "guard_names": frozenset({"latch", "lock", "_latch", "_lock"}),
             },
+        ),
+        "RL006": RuleConfig(
+            include=("src/repro/*", "tests/*"),
+            exclude=("src/repro/obs/*", "src/repro/sim/*"),
+            options={"banned_calls": BARE_TIMING_CALLS},
         ),
     }
 

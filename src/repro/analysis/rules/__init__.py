@@ -4,6 +4,7 @@ from repro.analysis.rules import (  # noqa: F401
     determinism,
     error_surface,
     lsn,
+    obs,
     priced_io,
     shared_state,
 )

@@ -1,0 +1,49 @@
+"""RL006 — observability instrumentation discipline.
+
+Timing and metric instrumentation goes through :mod:`repro.obs`: host
+elapsed time via :func:`repro.obs.timing.host_timing` (or
+:class:`~repro.obs.timing.HostTimer`), simulated latencies via registry
+histograms, counters via the registry or the stats dataclasses it backs.
+Bare ``host_perf_counter()`` start/stop deltas scattered through the
+code are the thing the obs layer exists to replace: they bypass the
+export surface (``SHOW METRICS``, ``metrics_snapshot``), every caller
+reinvents the subtraction, and nothing ties the measurement to a name.
+Only the obs layer itself and the sim layer (which owns the host-clock
+boundary) may touch ``host_perf_counter`` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Rule, register, resolve_call
+
+
+@register
+class ObsInstrumentation(Rule):
+    id = "RL006"
+    name = "obs-instrumentation"
+    invariant = (
+        "Timing instrumentation goes through repro.obs (host_timing / "
+        "HostTimer / registry histograms); bare host_perf_counter() "
+        "deltas belong only to the obs and sim layers."
+    )
+
+    def check(self, ctx) -> None:
+        options = ctx.config.rule(self.id).options
+        banned = options.get("banned_calls", frozenset())
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, ctx.imports)
+            if target is None:
+                continue
+            if target in banned:
+                self.report(
+                    ctx,
+                    node,
+                    f"bare host-clock read {target!r}; measure host "
+                    f"elapsed time with repro.obs.timing.host_timing() "
+                    f"(or HostTimer) so the measurement is named and "
+                    f"registry-exportable",
+                )

@@ -115,7 +115,10 @@ class LogArchiver:
             )
         # Store first, then advance: the retention pin (the shipper-side
         # cursor) must keep covering the segment until it is durable.
-        self.store.put_segment(self.db.name, blob)
+        with self.db.env.tracer.span(
+            "archive.receive", db=self.db.name, bytes=len(frame.payload)
+        ):
+            self.store.put_segment(self.db.name, blob)
         self._cursor = frame.end_lsn
         self.stats.segments_archived += 1
         self.stats.bytes_archived += len(frame.payload)

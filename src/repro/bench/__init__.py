@@ -12,7 +12,7 @@ from repro.bench.harness import (
     run_time_travel_experiment,
     time_travel_results,
 )
-from repro.bench.reporting import ReportTable, save_results
+from repro.bench.reporting import ReportTable, attach_metrics, save_results
 
 __all__ = [
     "make_perf_env",
@@ -21,5 +21,6 @@ __all__ = [
     "time_travel_results",
     "TimeTravelPoint",
     "ReportTable",
+    "attach_metrics",
     "save_results",
 ]

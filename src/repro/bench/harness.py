@@ -111,6 +111,8 @@ class TimeTravelResult:
     workload_minutes: float
     tpm: float
     points: list[TimeTravelPoint] = field(default_factory=list)
+    #: Canonical ``repro.obs.metrics/v1`` snapshot taken after the sweep.
+    metrics: dict = field(default_factory=dict)
 
 
 def run_time_travel_experiment(
@@ -186,6 +188,7 @@ def run_time_travel_experiment(
                 sparse_bytes=sparse_bytes,
             )
         )
+    outcome.metrics = env.metrics.snapshot()
     return outcome
 
 

@@ -56,6 +56,18 @@ class ReportTable:
         print(self.render())
 
 
+def attach_metrics(payload: dict, env, like: str | None = None) -> dict:
+    """Embed the canonical metrics snapshot in a bench payload.
+
+    Every bench that saves results also ships ``payload["metrics"]`` —
+    the same ``repro.obs.metrics/v1`` document ``SHOW METRICS`` and
+    ``python -m repro.tools.obs`` export — so the CI perf gate can read
+    engine-internal rates without re-deriving them from ad-hoc fields.
+    """
+    payload["metrics"] = env.metrics.snapshot(like)
+    return payload
+
+
 def save_results(name: str, payload: dict) -> str:
     """Persist a bench's raw numbers as JSON; returns the path."""
     directory = os.path.abspath(RESULTS_DIR)

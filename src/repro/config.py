@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sim.clock import SimClock
 from repro.sim.device import ZERO_COST, DeviceProfile, SimDevice
 from repro.sim.iostats import IoStats
@@ -100,6 +102,14 @@ class SimEnv:
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.stats = stats if stats is not None else IoStats()
+        #: The typed metrics registry (see :mod:`repro.obs`): every
+        #: ``io.*`` counter is the IoStats field itself, registered as a
+        #: backed counter, so one ``metrics.reset()`` (or the bound
+        #: ``stats.reset()``) clears the whole environment's counters.
+        self.metrics = MetricsRegistry()
+        self.stats.bind_registry(self.metrics)
+        #: The span tracer (inactive — cheap no-ops — between traces).
+        self.tracer = Tracer(self.clock, self.stats)
         self.data_device = SimDevice(data_profile, self.clock, self.stats)
         self.log_device = SimDevice(log_profile, self.clock, self.stats)
         self.cost = cost if cost is not None else CostModel.free()

@@ -349,31 +349,40 @@ class AsOfSnapshot:
         split lands inside the interval (a nearby audit read, a replica's
         pool, a recreated pooled entry) hits.
         """
-        store = getattr(self.db, "version_store", None)
-        store_key = getattr(self.db, "version_store_key", self.db.name)
-        if store is not None:
-            cached = store.lookup(store_key, page_id, self.split_lsn)
-            if cached is not None:
-                return bytearray(cached)
-        with self.db.buffer.fetch(page_id) as guard:
-            data = bytearray(guard.page.data)
-        page = Page(data)
-        version = prepare_page_version(page, self.split_lsn, self.log, self.env)
-        if store is not None and version is not None:
-            limit = version.limit_lsn
-            if limit is None:
-                # The walk proved no modification above the split in the
-                # page's current state: the image stays valid for every
-                # split up to the present log end (clamped to the applied
-                # prefix on a replica, whose pages trail its shipped log;
-                # a crash discarding the volatile tail invalidates).
-                horizon = getattr(self.db, "publish_horizon_lsn", None)
-                limit = horizon if horizon is not None else self.log.end_lsn
-            if limit > self.split_lsn:
-                store.publish(
-                    store_key, page_id, version.version_lsn, limit, bytes(data)
+        tracer = self.env.tracer
+        with tracer.span("asof.prepare_page", page=page_id) as prep_span:
+            store = getattr(self.db, "version_store", None)
+            store_key = getattr(self.db, "version_store_key", self.db.name)
+            if store is not None:
+                with tracer.span("version_store.lookup", page=page_id) as probe:
+                    cached = store.lookup(store_key, page_id, self.split_lsn)
+                    probe.set(hit=cached is not None)
+                if cached is not None:
+                    return bytearray(cached)
+            with self.db.buffer.fetch(page_id) as guard:
+                data = bytearray(guard.page.data)
+            page = Page(data)
+            with tracer.span("asof.chain_walk", page=page_id):
+                version = prepare_page_version(
+                    page, self.split_lsn, self.log, self.env
                 )
-        return data
+            if store is not None and version is not None:
+                limit = version.limit_lsn
+                if limit is None:
+                    # The walk proved no modification above the split in
+                    # the page's current state: the image stays valid for
+                    # every split up to the present log end (clamped to
+                    # the applied prefix on a replica, whose pages trail
+                    # its shipped log; a crash discarding the volatile
+                    # tail invalidates).
+                    horizon = getattr(self.db, "publish_horizon_lsn", None)
+                    limit = horizon if horizon is not None else self.log.end_lsn
+                if limit > self.split_lsn:
+                    store.publish(
+                        store_key, page_id, version.version_lsn, limit, bytes(data)
+                    )
+                    prep_span.set(published=True)
+            return data
 
     # ------------------------------------------------------------------
     # Background logical undo (paper section 5.2)

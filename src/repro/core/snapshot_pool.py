@@ -108,38 +108,50 @@ class SnapshotPool:
         maps onto a pooled split. Only snapshot *creation* stays bounded by
         the window.
         """
-        try:
-            split = AsOfSnapshot.resolve_split(db, as_of_wall)
-        except RetentionExceededError:
-            from repro.core.split_lsn import find_split_lsn
+        tracer = db.env.tracer
+        with tracer.span("pool.acquire", db=db.name) as pool_span:
+            with tracer.span("asof.resolve_split"):
+                try:
+                    split = AsOfSnapshot.resolve_split(db, as_of_wall)
+                except RetentionExceededError:
+                    from repro.core.split_lsn import find_split_lsn
 
-            # The window has closed, but a pooled split may have pinned
-            # the log; serve the reuse if the time still resolves.
-            split = find_split_lsn(db, as_of_wall)
-            entry = self._entries.get((db.name, split))
-            if entry is None or entry.snapshot.dropped or entry.snapshot.db is not db:
-                raise
-        key = (db.name, split)
-        entry = self._entries.get(key)
-        if entry is not None and (entry.snapshot.dropped or entry.snapshot.db is not db):
-            # A dropped or stale entry (its database object was replaced)
-            # cannot serve reads; rebuild it.
-            del self._entries[key]
-            entry = None
-        if entry is None:
-            snap = AsOfSnapshot.create_at_split(
-                db, f"~pool:{db.name}@{split:#x}", split
-            )
-            entry = _PoolEntry(snap)
-            self._entries[key] = entry
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        entry.refcount += 1
-        self._clock += 1
-        entry.last_used = self._clock
-        self._note_peak()
-        return entry.snapshot
+                    # The window has closed, but a pooled split may have
+                    # pinned the log; serve the reuse if the time still
+                    # resolves.
+                    split = find_split_lsn(db, as_of_wall)
+                    entry = self._entries.get((db.name, split))
+                    if (
+                        entry is None
+                        or entry.snapshot.dropped
+                        or entry.snapshot.db is not db
+                    ):
+                        raise
+            key = (db.name, split)
+            entry = self._entries.get(key)
+            if entry is not None and (
+                entry.snapshot.dropped or entry.snapshot.db is not db
+            ):
+                # A dropped or stale entry (its database object was
+                # replaced) cannot serve reads; rebuild it.
+                del self._entries[key]
+                entry = None
+            pool_span.set(split=split, hit=entry is not None)
+            if entry is None:
+                with tracer.span("asof.create_at_split", split=split):
+                    snap = AsOfSnapshot.create_at_split(
+                        db, f"~pool:{db.name}@{split:#x}", split
+                    )
+                entry = _PoolEntry(snap)
+                self._entries[key] = entry
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            entry.refcount += 1
+            self._clock += 1
+            entry.last_used = self._clock
+            self._note_peak()
+            return entry.snapshot
 
     def release(self, snapshot: AsOfSnapshot) -> None:
         """Return a lease obtained from :meth:`acquire`."""

@@ -10,6 +10,15 @@ from typing import TYPE_CHECKING, Iterator
 from repro.config import DatabaseConfig, SimEnv
 from repro.engine.database import Database
 from repro.errors import CatalogError, RetentionExceededError, SnapshotError
+from repro.obs.install import (
+    install_archiver_metrics,
+    install_database_metrics,
+    install_engine_metrics,
+    install_replica_metrics,
+    install_shipper_metrics,
+    remove_database_metrics,
+    remove_replica_metrics,
+)
 from repro.sim.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -90,6 +99,7 @@ class Engine:
         self.read_offload = False
         #: A replica is routable for current reads only within this lag.
         self.read_offload_max_lag_bytes = 1 << 20
+        install_engine_metrics(self)
 
     # ------------------------------------------------------------------
     # Databases
@@ -117,6 +127,7 @@ class Engine:
         db.version_store = self.version_store
         self._register_pool_pin(db)
         self.databases[name] = db
+        install_database_metrics(self, db)
         return db
 
     def _register_pool_pin(self, db: Database) -> None:
@@ -148,6 +159,8 @@ class Engine:
         self.snapshot_pool.purge_database(name)
         self.version_store.purge(name)
         del self.databases[name]
+        remove_database_metrics(self, name)
+        self.env.metrics.remove_prefix(f"shipper.{name}.")
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -223,6 +236,7 @@ class Engine:
         if shipper is None:
             shipper = LogShipper(self.database(db_name))
             self._shippers[db_name] = shipper
+            install_shipper_metrics(self, shipper)
         return shipper
 
     def add_replica(
@@ -306,6 +320,7 @@ class Engine:
         # not be left tracking a dead, never-attached standby.
         shipper.attach(replica)
         self.replicas[name] = replica
+        install_replica_metrics(self, replica)
         shipper.poll()
         replica.apply_ready()
         return replica
@@ -323,6 +338,7 @@ class Engine:
             shipper.detach(name)
         replica.drop()
         del self.replicas[name]
+        remove_replica_metrics(self, name)
 
     def replicas_of(self, db_name: str) -> list["Replica"]:
         return [
@@ -344,8 +360,10 @@ class Engine:
         if shipper is not None:
             shipper.detach(name)
         del self.replicas[name]
+        remove_replica_metrics(self, name)
         self._register_pool_pin(db)
         self.databases[name] = db
+        install_database_metrics(self, db)
         return db
 
     def replication_tick(self) -> int:
@@ -444,6 +462,7 @@ class Engine:
                 store = ArchiveStore(self.env, directory=directory, profile=profile)
         archiver = LogArchiver(db, store, self.shipper_for(db_name))
         self.archives[db_name] = archiver
+        install_archiver_metrics(self, archiver)
         archiver.poll()
         return archiver
 
@@ -473,16 +492,20 @@ class Engine:
         archiver = self.enable_archiving(db_name)
         db = self.database(db_name)
         chain = archiver.store.newest_chain(db_name)
-        # The backup media here IS the archive store (put_backup charges
-        # the archive device), so the generic backup-media charge is off.
-        if full or not chain:
-            backup = take_full_backup(db, charge_media=False)
-        else:
-            backup = take_incremental_backup(db, chain[-1], charge_media=False)
-        archiver.store.put_backup(backup)
-        # The backup's checkpoint records are in the log now; archive
-        # them promptly so the chain is immediately restorable.
-        archiver.poll()
+        with self.env.tracer.span(
+            "backup.database", db=db_name, full=bool(full or not chain)
+        ):
+            # The backup media here IS the archive store (put_backup
+            # charges the archive device), so the generic media charge
+            # is off.
+            if full or not chain:
+                backup = take_full_backup(db, charge_media=False)
+            else:
+                backup = take_incremental_backup(db, chain[-1], charge_media=False)
+            archiver.store.put_backup(backup)
+            # The backup's checkpoint records are in the log now; archive
+            # them promptly so the chain is immediately restorable.
+            archiver.poll()
         return backup
 
     def restore_from_archive(
@@ -517,9 +540,10 @@ class Engine:
                 except CatalogError:
                     suffix += 1
         self._check_name_free(new_name)
-        return restore_from_archive(
-            self, archiver.store, db_name, self.resolve_as_of(as_of), new_name
-        )
+        with self.env.tracer.span("archive.restore", db=db_name, target=new_name):
+            return restore_from_archive(
+                self, archiver.store, db_name, self.resolve_as_of(as_of), new_name
+            )
 
     def _retention_error(
         self, db_name: str, err, archive_failure=None
@@ -632,18 +656,28 @@ class Engine:
         hold the lease across statements; :meth:`query_as_of` scopes it).
         """
         wall = self.resolve_as_of(as_of)
-        try:
-            replica = self._route_as_of(db_name, wall)
-            if replica is not None:
-                return replica.snapshot_pool, replica.snapshot_pool.acquire(
-                    replica.db, wall
-                )
-            db = self.database(db_name)
-            return self.snapshot_pool, self.snapshot_pool.acquire(db, wall)
-        except RetentionExceededError as err:
-            return self._archive_leases, self._archive_fallback_reader(
-                db_name, wall, err
-            )
+        tracer = self.env.tracer
+        started = self.env.clock.now()
+        with tracer.span("asof.pin", db=db_name) as span:
+            try:
+                replica = self._route_as_of(db_name, wall)
+                if replica is not None:
+                    span.set(route=replica.name)
+                    return replica.snapshot_pool, replica.snapshot_pool.acquire(
+                        replica.db, wall
+                    )
+                db = self.database(db_name)
+                span.set(route="primary")
+                return self.snapshot_pool, self.snapshot_pool.acquire(db, wall)
+            except RetentionExceededError as err:
+                span.set(route="archive")
+                with tracer.span("asof.archive_fallback", db=db_name):
+                    reader = self._archive_fallback_reader(db_name, wall, err)
+                return self._archive_leases, reader
+            finally:
+                self.env.metrics.histogram(
+                    "asof.pin_sim_s", "sim-seconds to lease an AS OF view"
+                ).observe(self.env.clock.now() - started)
 
     @contextmanager
     def query_as_of(
@@ -703,6 +737,43 @@ class Engine:
         (hit/miss/publish/eviction/invalidation plus byte occupancy) —
         the observability surface benchmarks and the CI perf gate read."""
         return self.version_store.as_dict()
+
+    # ------------------------------------------------------------------
+    # Observability (see repro.obs and docs/observability.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The env-wide :class:`~repro.obs.registry.MetricsRegistry`."""
+        return self.env.metrics
+
+    def metrics_snapshot(self, like: str | None = None) -> dict:
+        """The canonical metrics document: counters, derived gauges and
+        histograms for every subsystem, optionally filtered by the same
+        glob ``SHOW METRICS LIKE`` accepts. Deterministic for seeded
+        runs — timing is simulated, keys are sorted."""
+        return self.env.metrics.snapshot(like)
+
+    def reset_metrics(self) -> None:
+        """Zero every counter and histogram (gauges are derived)."""
+        self.env.metrics.reset()
+
+    @contextmanager
+    def trace(self, name: str = "trace"):
+        """``with engine.trace() as t:`` — span-trace the block.
+
+        While the block runs, every instrumented boundary (SQL execute,
+        AS OF pin/resolve/prepare, pool acquire, version-store probe,
+        chain walk, batched log reads, shipping/apply, archive) opens a
+        nested span; after the block, ``t.root`` is the finished span
+        tree (``t.render()`` for text, ``t.as_dict()`` for JSON). Spans
+        carry simulated elapsed time and per-span I/O-counter deltas.
+        """
+        handle = self.env.tracer.begin(name)
+        try:
+            yield handle
+        finally:
+            self.env.tracer.finish(handle)
 
     def set_version_store_budget(self, budget_bytes: int) -> None:
         """Resize (or, with ``0``, disable) the shared version store."""

@@ -1,0 +1,48 @@
+"""Engine-wide observability: metrics registry, tracer, timing boundary.
+
+Three layers, one schema:
+
+* :mod:`repro.obs.registry` — typed instruments (counters, gauges,
+  histograms with deterministic sim-time buckets) in one
+  :class:`~repro.obs.registry.MetricsRegistry` per
+  :class:`~repro.config.SimEnv`. ``registry.snapshot()`` is the canonical
+  JSON document consumed by ``SHOW METRICS``, ``python -m
+  repro.tools.obs``, the benchmarks and the CI perf gate.
+* :mod:`repro.obs.tracer` — span-based tracing of a single request.
+  Spans are timed on the *simulated* clock and carry per-span I/O-counter
+  deltas, so a trace of a seeded run is replay-deterministic
+  byte-for-byte.
+* :mod:`repro.obs.timing` — the host-clock boundary for real-time
+  measurements (benchmark wall clocks, CLI elapsed). reprolint rule
+  RL006 bans bare ``host_perf_counter()`` deltas outside ``obs/`` and
+  ``sim/``; :func:`host_timing` is the sanctioned spelling.
+"""
+
+from repro.obs.export import flatten_snapshot, format_metric_value, metrics_to_text
+from repro.obs.registry import (
+    DEFAULT_SIM_TIME_BUCKETS_S,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timing import HostTimer, host_timing
+from repro.obs.tracer import Span, Trace, Tracer
+
+__all__ = [
+    "DEFAULT_SIM_TIME_BUCKETS_S",
+    "METRICS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HostTimer",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "flatten_snapshot",
+    "format_metric_value",
+    "host_timing",
+    "metrics_to_text",
+]

@@ -1,0 +1,214 @@
+"""Wiring subsystem stats objects and derived gauges into the registry.
+
+Each ``install_*`` function binds one subsystem's counters (backed over
+its existing stats dataclass, so the legacy attribute APIs keep working)
+and registers its derived gauges. The engine calls these as subsystems
+come and go; ``registry.remove_prefix`` unwinds them on drop.
+
+All gauges are *derived* — closures over live engine state, evaluated at
+snapshot time — never sampled copies that could go stale.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+
+def _bind_stats(registry, prefix: str, stats, names) -> None:
+    """Register each ``stats`` field as backed counter ``prefix.name``."""
+    for name in names:
+        registry.backed_counter(
+            f"{prefix}.{name}",
+            read=partial(getattr, stats, name),
+            write=partial(setattr, stats, name),
+        )
+
+
+def install_pool_metrics(registry, prefix: str, pool) -> None:
+    """A :class:`~repro.core.snapshot_pool.SnapshotPool` under ``prefix``
+    (``pool.engine`` for the engine pool, ``pool.<replica>`` per standby)."""
+    _bind_stats(
+        registry,
+        prefix,
+        pool.stats,
+        ("hits", "misses", "evictions", "releases", "peak_bytes"),
+    )
+    registry.gauge(f"{prefix}.bytes", pool.total_bytes, "pooled side-file bytes")
+    registry.gauge(f"{prefix}.budget_bytes", lambda: pool.budget_bytes)
+    registry.gauge(f"{prefix}.entries", lambda: len(pool))
+    registry.gauge(f"{prefix}.leases", pool.active_leases)
+    registry.gauge(
+        f"{prefix}.hit_rate",
+        lambda: (
+            pool.stats.hits / (pool.stats.hits + pool.stats.misses)
+            if (pool.stats.hits + pool.stats.misses)
+            else 0.0
+        ),
+        "pooled-acquire hit rate",
+    )
+
+
+def install_version_store_metrics(registry, store) -> None:
+    """The engine-wide :class:`~repro.core.version_store.PageVersionStore`.
+
+    The ``io.version_store_*`` counters mirror these (the store double-
+    bumps the IoStats sheet); ``version_store.*`` is the canonical view
+    with occupancy and hit rate attached.
+    """
+    _bind_stats(
+        registry,
+        "version_store",
+        store.stats,
+        (
+            "hits",
+            "misses",
+            "publishes",
+            "evictions",
+            "invalidations",
+            "peak_bytes",
+        ),
+    )
+    registry.gauge("version_store.bytes", lambda: store.as_dict()["bytes"])
+    registry.gauge("version_store.versions", lambda: store.as_dict()["versions"])
+    registry.gauge("version_store.budget_bytes", lambda: store.budget_bytes)
+    registry.gauge(
+        "version_store.hit_rate",
+        lambda: store.stats.hit_rate,
+        "store-probe hit rate (chain walks skipped)",
+    )
+
+
+def install_engine_metrics(engine) -> None:
+    """Engine-owned shared structures: the snapshot pool and the store."""
+    registry = engine.env.metrics
+    install_pool_metrics(registry, "pool.engine", engine.snapshot_pool)
+    install_version_store_metrics(registry, engine.version_store)
+
+
+def install_database_metrics(engine, db) -> None:
+    """Per-database log and retention gauges (``log.<db>.*``,
+    ``retention.<db>.*``)."""
+    registry = engine.env.metrics
+    prefix = f"log.{db.name}"
+    registry.gauge(f"{prefix}.end_lsn", lambda: db.log.end_lsn)
+    registry.gauge(f"{prefix}.durable_lsn", lambda: db.log.durable_lsn)
+    registry.gauge(f"{prefix}.start_lsn", lambda: db.log.start_lsn)
+    registry.gauge(
+        f"{prefix}.retained_bytes",
+        lambda: db.log.end_lsn - db.log.start_lsn,
+        "log bytes between the retention floor and the tail",
+    )
+
+    def pin_lag_bytes() -> int:
+        # Distance from the log tail back to the oldest live retention
+        # pin (pooled splits, shipper/archiver cursors): how much log the
+        # pins hold beyond what the time window alone would keep.
+        from repro.wal.lsn import NULL_LSN
+
+        pins = []
+        for pin in db.retention_pins:
+            lsn = pin()
+            if lsn is not None and lsn > NULL_LSN:
+                pins.append(lsn)
+        if not pins:
+            return 0
+        return max(0, db.log.end_lsn - min(pins))
+
+    registry.gauge(
+        f"retention.{db.name}.pin_lag_bytes",
+        pin_lag_bytes,
+        "retention-pin horizon distance from the log tail",
+    )
+
+
+def remove_database_metrics(engine, name: str) -> None:
+    registry = engine.env.metrics
+    registry.remove_prefix(f"log.{name}.")
+    registry.remove_prefix(f"retention.{name}.")
+
+
+def install_replica_metrics(engine, replica) -> None:
+    """Per-standby apply/lag instruments (``replica.<name>.*``) and its
+    own snapshot pool (``pool.<name>.*``)."""
+    registry = engine.env.metrics
+    prefix = f"replica.{replica.name}"
+    _bind_stats(
+        registry,
+        prefix,
+        replica.stats,
+        (
+            "frames_received",
+            "bytes_received",
+            "records_applied",
+            "apply_batches",
+            "peak_apply_backlog_bytes",
+        ),
+    )
+    registry.gauge(f"{prefix}.applied_lsn", lambda: replica.applied_lsn)
+    registry.gauge(f"{prefix}.received_lsn", lambda: replica.received_lsn)
+    registry.gauge(
+        f"{prefix}.apply_lag_bytes",
+        replica.lag_bytes,
+        "durable primary log not yet applied (LSN distance)",
+    )
+    registry.gauge(
+        f"{prefix}.received_lag_bytes",
+        replica.received_lag_bytes,
+        "durable primary log not yet shipped here",
+    )
+
+    def apply_lag_s() -> float:
+        # Seconds of history the applied state trails the primary: zero
+        # when fully applied, otherwise the age of the last applied
+        # commit. Derived — no sampling loop keeps this fresh.
+        if replica.lag_bytes() == 0:
+            return 0.0
+        return max(0.0, engine.env.clock.now() - replica.applied_wall)
+
+    registry.gauge(f"{prefix}.apply_lag_s", apply_lag_s, "apply lag in seconds")
+    install_pool_metrics(registry, f"pool.{replica.name}", replica.snapshot_pool)
+
+
+def remove_replica_metrics(engine, name: str) -> None:
+    registry = engine.env.metrics
+    registry.remove_prefix(f"replica.{name}.")
+    registry.remove_prefix(f"pool.{name}.")
+
+
+def install_shipper_metrics(engine, shipper) -> None:
+    """Outbound shipping instruments (``shipper.<db>.*``)."""
+    registry = engine.env.metrics
+    prefix = f"shipper.{shipper.db.name}"
+    _bind_stats(
+        registry,
+        prefix,
+        shipper.stats,
+        ("polls", "frames_shipped", "bytes_shipped", "resyncs"),
+    )
+    registry.gauge(
+        f"{prefix}.max_lag_bytes",
+        shipper.max_lag_bytes,
+        "largest unshipped byte count across subscribers",
+    )
+    registry.gauge(f"{prefix}.subscribers", lambda: len(shipper.subscribers()))
+
+
+def install_archiver_metrics(engine, archiver) -> None:
+    """Archive-tier instruments (``archive.<db>.*``): the durable-cursor
+    lag gauge is the archiver's health signal — log past it is only as
+    safe as the primary's retention window."""
+    registry = engine.env.metrics
+    prefix = f"archive.{archiver.db.name}"
+    _bind_stats(
+        registry,
+        prefix,
+        archiver.stats,
+        ("segments_archived", "bytes_archived"),
+    )
+    registry.gauge(
+        f"{prefix}.cursor_lag_bytes",
+        archiver.lag_bytes,
+        "durable primary log not yet durably archived",
+    )
+    registry.gauge(f"{prefix}.archived_lsn", lambda: archiver.received_lsn)
+    registry.gauge(f"{prefix}.closed", lambda: int(archiver.closed))

@@ -1,0 +1,276 @@
+"""The typed metrics registry.
+
+One :class:`MetricsRegistry` lives on each :class:`~repro.config.SimEnv`
+(``env.metrics``) and is shared by every database, snapshot, replica and
+tool attached to that environment — mirroring how ``env.stats`` already
+threads one :class:`~repro.sim.iostats.IoStats` sheet through the stack.
+
+Instruments come in three types:
+
+* :class:`Counter` — monotone int. Counters may *own* their value or be
+  *backed* by read/write closures over an existing stats object (the
+  ``IoStats`` fields and the per-subsystem stats dataclasses register
+  this way), so legacy attribute APIs keep working as thin shims while
+  the registry becomes the single reset/snapshot/export surface.
+* :class:`Gauge` — derived, read-only. Evaluated at snapshot time from a
+  closure (replica apply lag, archiver cursor lag, retention-pin horizon
+  distance, pool occupancy, hit rates). Never sampled, never reset.
+* :class:`Histogram` — fixed, deterministic bucket bounds (sim-seconds
+  or bytes). Same seeded run ⇒ same observations ⇒ byte-identical
+  snapshot JSON.
+
+Naming scheme (see ``docs/observability.md``): dot-separated
+``<subsystem>[.<instance>].<metric>``, e.g. ``io.undo_log_reads``,
+``pool.engine.hits``, ``replica.r1.apply_lag_bytes``. Glob filters
+(``SHOW METRICS LIKE 'pool.*'``) match with :func:`fnmatch.fnmatchcase`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from fnmatch import fnmatchcase
+
+#: Canonical snapshot schema identifier (bump on incompatible change).
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+#: Default histogram bounds for simulated-seconds latencies: decades from
+#: 100 µs to 100 s. Fixed at import time — deterministic by construction.
+DEFAULT_SIM_TIME_BUCKETS_S = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+#: Default histogram bounds for byte sizes (log records, frames).
+DEFAULT_BYTES_BUCKETS = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+class Counter:
+    """A monotone counter, optionally backed by external storage."""
+
+    __slots__ = ("name", "doc", "_read", "_write", "_value")
+
+    def __init__(self, name: str, doc: str = "", *, read=None, write=None) -> None:
+        if (read is None) != (write is None):
+            raise ValueError(f"counter {name}: read and write go together")
+        self.name = name
+        self.doc = doc
+        self._read = read
+        self._write = write
+        self._value = 0
+
+    @property
+    def backed(self) -> bool:
+        return self._read is not None
+
+    @property
+    def value(self) -> int:
+        if self._read is not None:
+            return self._read()
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        if self._write is not None:
+            self._write(self._read() + amount)
+        else:
+            self._value += amount
+
+    def reset(self) -> None:
+        if self._write is not None:
+            self._write(0)
+        else:
+            self._value = 0
+
+
+class Gauge:
+    """A derived, read-only instrument evaluated at snapshot time."""
+
+    __slots__ = ("name", "doc", "_read")
+
+    def __init__(self, name: str, read, doc: str = "") -> None:
+        self.name = name
+        self.doc = doc
+        self._read = read
+
+    @property
+    def value(self):
+        return self._read()
+
+    def reset(self) -> None:
+        """Gauges are derived from live state; nothing to clear."""
+
+
+class Histogram:
+    """Fixed-bucket histogram (counts per ``value <= bound`` bucket)."""
+
+    __slots__ = ("name", "doc", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, doc: str = "", bounds=DEFAULT_SIM_TIME_BUCKETS_S) -> None:
+        self.name = name
+        self.doc = doc
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError(f"histogram {name}: bounds must be sorted and non-empty")
+        # One count per bound plus the +inf overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "buckets": [
+                [bound, self.counts[i]] for i, bound in enumerate(self.bounds)
+            ],
+            "overflow": self.counts[-1],
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one :class:`~repro.config.SimEnv`, by name.
+
+    The instrument tables (``_instruments``) are owned by this module —
+    other modules hold instrument *handles* returned by
+    :meth:`counter`/:meth:`gauge`/:meth:`histogram` and mutate only
+    through them (the RL005 shared-state contract).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        # Dynamic providers contribute extra counter values at snapshot
+        # time (the IoStats ``_extra`` ad-hoc counters register one).
+        self._providers: list = []
+        self._reset_hooks: list = []
+
+    # -- registration ---------------------------------------------------
+
+    def _check_kind(self, name: str, existing, kind) -> None:
+        if type(existing) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}"
+            )
+
+    def counter(self, name: str, doc: str = "") -> Counter:
+        """Create (or fetch the existing) self-owned counter ``name``."""
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_kind(name, existing, Counter)
+            return existing
+        instrument = Counter(name, doc)
+        self._instruments[name] = instrument
+        return instrument
+
+    def backed_counter(self, name: str, read, write, doc: str = "") -> Counter:
+        """A counter whose storage lives elsewhere (a legacy stats field).
+
+        Re-registration *replaces* the closures — a subsystem restart
+        (new pool, new replica under a reused name) rebinds the metric to
+        its live object.
+        """
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_kind(name, existing, Counter)
+        instrument = Counter(name, doc, read=read, write=write)
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge(self, name: str, read, doc: str = "") -> Gauge:
+        """Register derived gauge ``name``; re-registration replaces the
+        closure (a subsystem restart rebinds its live object)."""
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_kind(name, existing, Gauge)
+        instrument = Gauge(name, read, doc)
+        self._instruments[name] = instrument
+        return instrument
+
+    def histogram(self, name: str, doc: str = "", bounds=DEFAULT_SIM_TIME_BUCKETS_S) -> Histogram:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_kind(name, existing, Histogram)
+            return existing
+        instrument = Histogram(name, doc, bounds)
+        self._instruments[name] = instrument
+        return instrument
+
+    def add_provider(self, provider) -> None:
+        """``provider()`` returns ``{name: int}`` merged into the counter
+        section at snapshot time (ad-hoc counters)."""
+        self._providers.append(provider)
+
+    def add_reset_hook(self, hook) -> None:
+        """``hook()`` runs on :meth:`reset` (clears provider storage)."""
+        self._reset_hooks.append(hook)
+
+    def remove(self, name: str) -> None:
+        self._instruments.pop(name, None)
+
+    def remove_prefix(self, prefix: str) -> None:
+        """Unregister every instrument under ``prefix`` (dropped replica,
+        detached archiver, dropped database)."""
+        for name in [n for n in self._instruments if n.startswith(prefix)]:
+            del self._instruments[name]
+
+    # -- read side ------------------------------------------------------
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def names(self, like: str | None = None) -> list[str]:
+        names = sorted(self._instruments)
+        if like is None:
+            return names
+        return [n for n in names if fnmatchcase(n, like)]
+
+    def snapshot(self, like: str | None = None) -> dict:
+        """The canonical metrics document (see ``docs/observability.md``).
+
+        Deterministic: keys sorted, values read in one pass, no host
+        clocks. ``like`` applies the same glob ``SHOW METRICS LIKE``
+        uses.
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            if like is not None and not fnmatchcase(name, like):
+                continue
+            instrument = self._instruments[name]
+            if type(instrument) is Counter:
+                counters[name] = instrument.value
+            elif type(instrument) is Gauge:
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.as_dict()
+        for provider in self._providers:
+            for name, value in sorted(provider().items()):
+                if like is None or fnmatchcase(name, like):
+                    counters[name] = counters.get(name, 0) + value
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    # -- reset ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter and histogram — including backed ones, so
+        one call clears the IoStats sheet *and* every subsystem stats
+        object registered over it (pool, version store, shipper, replica,
+        archiver). Gauges are derived and untouched."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+        for hook in self._reset_hooks:
+            hook()

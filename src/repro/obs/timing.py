@@ -1,0 +1,41 @@
+"""The host-clock boundary for real-time measurements.
+
+Simulated timing belongs on ``env.clock`` / the tracer. The *host* clock
+is only legitimate for meta-measurements — how fast the simulator itself
+runs (benchmark ``real_seconds``, CLI elapsed). Those go through
+:func:`host_timing`; reprolint rule RL006 flags bare
+``host_perf_counter()`` deltas anywhere outside ``repro/obs`` and
+``repro/sim`` so the two clock domains cannot silently mix.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.sim.clock import host_perf_counter
+
+
+class HostTimer:
+    """Elapsed host seconds over a ``with host_timing()`` region."""
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start = host_perf_counter()
+        self.elapsed = 0.0
+
+    def stop(self) -> float:
+        self.elapsed = host_perf_counter() - self._start
+        return self.elapsed
+
+
+@contextmanager
+def host_timing():
+    """``with host_timing() as timer: ...`` — ``timer.elapsed`` holds the
+    real seconds spent in the block (also updated live via
+    :meth:`HostTimer.stop`)."""
+    timer = HostTimer()
+    try:
+        yield timer
+    finally:
+        timer.stop()

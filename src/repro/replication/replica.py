@@ -198,6 +198,14 @@ class Replica:
     def _apply_range(self, to_lsn: int) -> int:
         if to_lsn <= self.applied_lsn:
             return 0
+        with self.db.env.tracer.span(
+            "repl.apply", replica=self.name, to_lsn=to_lsn
+        ) as span:
+            applied = self._apply_range_traced(to_lsn)
+            span.set(records=applied)
+        return applied
+
+    def _apply_range_traced(self, to_lsn: int) -> int:
         touched_meta = False
         state = {"wall": self.applied_wall, "commit": self.applied_commit_lsn}
 

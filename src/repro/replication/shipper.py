@@ -108,33 +108,35 @@ class LogShipper:
         target = log.durable_lsn
         now = self.db.env.clock.now()
         total = 0
-        for sub in self._subs.values():
-            reported = sub.replica.received_lsn
-            if reported != sub.cursor:
-                # The replica's position moved under us (restart, manual
-                # reseed): trust the replica, it owns the durable truth.
-                if reported < log.start_lsn:
-                    raise ReplicationError(
-                        f"replica {sub.replica.name!r} resumes at "
-                        f"{format_lsn(reported)}, below the primary's "
-                        f"retained log ({format_lsn(log.start_lsn)})"
+        with self.db.env.tracer.span("repl.ship.poll", db=self.db.name) as span:
+            for sub in self._subs.values():
+                reported = sub.replica.received_lsn
+                if reported != sub.cursor:
+                    # The replica's position moved under us (restart, manual
+                    # reseed): trust the replica, it owns the durable truth.
+                    if reported < log.start_lsn:
+                        raise ReplicationError(
+                            f"replica {sub.replica.name!r} resumes at "
+                            f"{format_lsn(reported)}, below the primary's "
+                            f"retained log ({format_lsn(log.start_lsn)})"
+                        )
+                    sub.cursor = reported
+                    self.stats.resyncs += 1
+                while sub.cursor < target:
+                    end = log.record_aligned_end(
+                        sub.cursor, self.batch_bytes, target
                     )
-                sub.cursor = reported
-                self.stats.resyncs += 1
-            while sub.cursor < target:
-                end = log.record_aligned_end(
-                    sub.cursor, self.batch_bytes, target
-                )
-                if end <= sub.cursor:
-                    break
-                frame = LogFrame(
-                    sub.cursor, log.read_bytes(sub.cursor, end), now
-                )
-                sub.replica.receive(frame.encode())
-                sub.cursor = end
-                self.stats.frames_shipped += 1
-                self.stats.bytes_shipped += len(frame.payload)
-                total += len(frame.payload)
+                    if end <= sub.cursor:
+                        break
+                    frame = LogFrame(
+                        sub.cursor, log.read_bytes(sub.cursor, end), now
+                    )
+                    sub.replica.receive(frame.encode())
+                    sub.cursor = end
+                    self.stats.frames_shipped += 1
+                    self.stats.bytes_shipped += len(frame.payload)
+                    total += len(frame.payload)
+            span.set(bytes=total)
         return total
 
     def max_lag_bytes(self) -> int:

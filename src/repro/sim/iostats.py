@@ -4,11 +4,23 @@ A single :class:`IoStats` instance is threaded through the storage, WAL and
 snapshot layers. Figure 11 of the paper ("estimated number of undo IOs") is
 read directly off these counters; the other figures are derived from the
 simulated time the devices charge while the counters tick.
+
+Since the observability layer landed, the attribute API here is a thin
+shim over the env-wide :class:`~repro.obs.registry.MetricsRegistry`:
+:meth:`IoStats.bind_registry` (called by :class:`~repro.config.SimEnv`)
+registers every field as a backed ``io.<name>`` counter, so the registry
+reads and resets the very same storage the hot paths bump. A *bound*
+sheet's :meth:`reset` delegates to ``registry.reset()`` — one call clears
+the io counters, the ad-hoc extras, **and** every subsystem stats object
+registered over the same registry (pool, version store, shipper, replica,
+archiver) — closing the gap where ``env.stats.reset()`` zeroed
+``version_store_*`` mirrors but left the store's own counters ticking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from functools import partial
 
 
 @dataclass
@@ -94,6 +106,28 @@ class IoStats:
 
     _extra: dict = field(default_factory=dict, repr=False)
 
+    def bind_registry(self, registry) -> None:
+        """Expose every counter through ``registry`` as ``io.<name>``.
+
+        The registry's counters are *backed* by this object's fields —
+        no double bookkeeping — and the ad-hoc ``_extra`` counters join
+        snapshots through a provider. After binding, :meth:`reset`
+        delegates to ``registry.reset()``.
+        """
+        self._registry = registry
+        for spec in fields(self):
+            if spec.name == "_extra":
+                continue
+            registry.backed_counter(
+                f"io.{spec.name}",
+                read=partial(getattr, self, spec.name),
+                write=partial(setattr, self, spec.name),
+            )
+        registry.add_provider(
+            lambda: {f"io.{key}": value for key, value in self._extra.items()}
+        )
+        registry.add_reset_hook(self._extra.clear)
+
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment ``counter`` by ``amount`` (creating ad-hoc counters)."""
         if hasattr(self, counter) and not counter.startswith("_"):
@@ -141,7 +175,18 @@ class IoStats:
         return result
 
     def reset(self) -> None:
-        """Zero every counter in place."""
+        """Zero every counter in place.
+
+        When bound to a registry (the normal, in-``SimEnv`` case) this
+        resets the *whole registry* — the ``io.*`` fields here, the
+        ad-hoc extras, and every subsystem stats object (pool, version
+        store, shipper, replica, archiver) registered over it — so one
+        reset really clears all engine counters.
+        """
+        registry = getattr(self, "_registry", None)
+        if registry is not None:
+            registry.reset()
+            return
         for spec in fields(self):
             if spec.name == "_extra":
                 continue

@@ -23,6 +23,7 @@ from repro.errors import (
     SnapshotReadOnlyError,
     SqlExecutionError,
 )
+from repro.obs.export import flatten_snapshot
 from repro.sql.parser import (
     STAR,
     Aggregate,
@@ -44,6 +45,7 @@ from repro.sql.parser import (
     Select,
     Show,
     TableRef,
+    Trace,
     TxnControl,
     Unary,
     Update,
@@ -250,10 +252,19 @@ class Session:
             Checkpoint: self._do_checkpoint,
             Use: self._do_use,
             Show: self._do_show,
+            Trace: self._do_trace,
         }.get(type(stmt))
         if handler is None:
             raise SqlExecutionError(f"unsupported statement {type(stmt).__name__}")
-        return handler(stmt)
+        env = self.engine.env
+        started = env.clock.now()
+        with env.tracer.span("sql.execute", stmt=type(stmt).__name__) as span:
+            result = handler(stmt)
+            span.set(rows=result.rowcount)
+        env.metrics.histogram(
+            "sql.execute_sim_s", "sim-seconds per SQL statement"
+        ).observe(env.clock.now() - started)
+        return result
 
     # ------------------------------------------------------------------
     # Write transaction plumbing (autocommit unless BEGIN is open)
@@ -566,5 +577,15 @@ class Session:
             reader = self._reader_for(TableRef("_"))
             rows = [(name,) for name in sorted(reader.tables())]
             return Result(("name",), rows, rowcount=len(rows))
+        if stmt.what == "METRICS":
+            snap = self.engine.metrics_snapshot(stmt.like)
+            rows = list(flatten_snapshot(snap).items())
+            return Result(("name", "value"), rows, rowcount=len(rows))
         rows = [(name,) for name in sorted(self.engine.snapshots)]
         return Result(("name",), rows, rowcount=len(rows))
+
+    def _do_trace(self, stmt: Trace) -> Result:
+        with self.engine.trace("sql.trace") as handle:
+            self._dispatch(stmt.statement)
+        rows = [(line,) for line in handle.render()]
+        return Result(("span",), rows, rowcount=len(rows))

@@ -190,7 +190,23 @@ class Use:
 
 @dataclass(frozen=True)
 class Show:
-    what: str             # TABLES / SNAPSHOTS
+    """``SHOW TABLES`` / ``SHOW SNAPSHOTS`` / ``SHOW METRICS [LIKE '<glob>']``.
+
+    ``like`` (METRICS only) filters metric names with an fnmatch-style
+    glob, e.g. ``SHOW METRICS LIKE 'pool.*'``.
+    """
+
+    what: str             # TABLES / SNAPSHOTS / METRICS
+    like: str | None = None
+
+
+@dataclass(frozen=True)
+class Trace:
+    """``TRACE <select>``: run the query inside a span trace and return
+    the rendered span tree (one line per span, with per-span simulated
+    elapsed time and I/O-counter deltas) instead of the query's rows."""
+
+    statement: Select
 
 
 _TYPE_MAP = {
@@ -298,8 +314,12 @@ class Parser:
         if token.ttype is TokenType.IDENT and token.value.upper() in (
             "BACKUP",
             "RESTORE",
+            "TRACE",
         ):
             # Contextual statement words: only reserved in this position.
+            if self.accept_word("TRACE"):
+                statement = self.parse_select()
+                return Trace(statement)
             if self.accept_word("BACKUP"):
                 self.expect_keyword("DATABASE")
                 name = self.expect_ident()
@@ -355,7 +375,12 @@ class Parser:
                 return Show("TABLES")
             if self.accept_keyword("SNAPSHOTS"):
                 return Show("SNAPSHOTS")
-            raise self.error("expected TABLES or SNAPSHOTS")
+            if self.accept_word("METRICS"):
+                like = None
+                if self.accept_word("LIKE"):
+                    like = self.expect_string()
+                return Show("METRICS", like=like)
+            raise self.error("expected TABLES, SNAPSHOTS or METRICS")
         raise self.error(f"unsupported statement {word}")
 
     def parse_table_ref(self, *, allow_as_of: bool = False) -> TableRef:

@@ -381,6 +381,63 @@ def dump_archive(source, db_name: str | None = None, *, limit: int = 100) -> lis
     return lines
 
 
+def metrics_report(engine, db_name: str | None = None) -> list[str]:
+    """Cursor-lag and health gauges for a live engine, as text lines.
+
+    Reads the shipping/apply/archive/retention sections of the engine's
+    metrics registry (``shipper.*``, ``archive.*``, ``replica.*``,
+    ``log.*``, ``retention.*``). ``db_name`` keeps only instruments whose
+    instance segment matches (replica instruments are named after the
+    *replica*, so they pass the filter only unfiltered).
+    """
+    from repro.obs.export import flatten_snapshot, format_metric_value
+
+    sections = ("shipper", "archive", "replica", "log", "retention")
+    lines = []
+    for name, value in flatten_snapshot(engine.metrics_snapshot()).items():
+        head, _, rest = name.partition(".")
+        if head not in sections:
+            continue
+        if db_name is not None and not rest.startswith(f"{db_name}."):
+            continue
+        lines.append(f"{name} = {format_metric_value(value)}")
+    return lines
+
+
+def archive_metrics_report(source, db_name: str | None = None) -> list[str]:
+    """Offline cursor gauges recovered from archived segments alone.
+
+    With only an archive directory (no live engine) the observable facts
+    are each database's archived extent and volume: where the durable
+    archive cursor stands (``archived_lsn``), where coverage starts, and
+    how many segments/bytes the store holds. The names mirror the live
+    ``archive.<db>.*`` instruments so dashboards can read either source.
+    """
+    from repro.replication.stream import LogFrame
+
+    per_db: dict[str, dict] = {}
+    for label, blob in _collect_segments(source, db_name):
+        frame = LogFrame.decode(blob)
+        db_key = label.rsplit("-", 2)[0]
+        entry = per_db.setdefault(
+            db_key, {"segments": 0, "bytes": 0, "start": None, "end": None}
+        )
+        entry["segments"] += 1
+        entry["bytes"] += len(frame.payload)
+        if entry["start"] is None or frame.start_lsn < entry["start"]:
+            entry["start"] = frame.start_lsn
+        if entry["end"] is None or frame.end_lsn > entry["end"]:
+            entry["end"] = frame.end_lsn
+    lines = []
+    for db_key in sorted(per_db):
+        entry = per_db[db_key]
+        lines.append(f"archive.{db_key}.archived_lsn = {entry['end']}")
+        lines.append(f"archive.{db_key}.coverage_start_lsn = {entry['start']}")
+        lines.append(f"archive.{db_key}.segments_archived = {entry['segments']}")
+        lines.append(f"archive.{db_key}.bytes_archived = {entry['bytes']}")
+    return lines
+
+
 def lint_log_segments(source, db_name: str | None = None):
     """Integrity micro-check over archived log segments.
 
@@ -482,7 +539,17 @@ def main(argv=None) -> int:
         "CRC-clean, tile into records, and be LSN-monotonic; exits 1 "
         "on findings",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="per-database archive cursor gauges (archived_lsn, coverage "
+        "start, segment/byte volume) instead of a record dump",
+    )
     args = parser.parse_args(argv)
+    if args.metrics:
+        for line in archive_metrics_report(args.archive, args.db):
+            print(line)
+        return 0
     if args.lint_log:
         from repro.analysis.reporters import render_text
 

@@ -25,7 +25,7 @@ import sys
 from repro.analysis.findings import Baseline
 from repro.analysis.framework import Analyzer, all_rules, iter_python_files
 from repro.analysis.reporters import render_json, render_text, summary
-from repro.sim.clock import host_perf_counter
+from repro.obs.timing import host_timing
 
 DEFAULT_BASELINE = "reprolint-baseline.json"
 
@@ -84,17 +84,17 @@ def main(argv=None) -> int:
             print(f"    {rule_cls.invariant}")
         return 0
 
-    start = host_perf_counter()
-    try:
-        analyzer = Analyzer(
-            select=_parse_rule_set(args.select),
-            ignore=_parse_rule_set(args.ignore),
-        )
-    except ValueError as err:
-        parser.error(str(err))
-    findings = analyzer.check_paths(args.paths)
-    files = sum(1 for _ in iter_python_files(args.paths))
-    elapsed = host_perf_counter() - start
+    with host_timing() as timer:
+        try:
+            analyzer = Analyzer(
+                select=_parse_rule_set(args.select),
+                ignore=_parse_rule_set(args.ignore),
+            )
+        except ValueError as err:
+            parser.error(str(err))
+        findings = analyzer.check_paths(args.paths)
+        files = sum(1 for _ in iter_python_files(args.paths))
+    elapsed = timer.elapsed
 
     if args.write_baseline:
         content = Baseline().dump(findings)

@@ -19,6 +19,7 @@ from collections import OrderedDict
 
 from repro.config import SimEnv
 from repro.errors import LogRecordDecodeError, LogTruncatedError, WalError
+from repro.obs.registry import DEFAULT_BYTES_BUCKETS
 from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
 from repro.wal.records import (
     HEADER_SIZE,
@@ -66,6 +67,12 @@ class LogManager:
         self._truncated_before = FIRST_LSN
         self._last_commit_lsn = NULL_LSN
         self._cache: OrderedDict[int, None] = OrderedDict()
+        # Handle cached at init: append() is the engine's hottest path.
+        self._append_hist = env.metrics.histogram(
+            "log.append_bytes",
+            "serialized log record sizes",
+            bounds=DEFAULT_BYTES_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # Positions
@@ -109,6 +116,7 @@ class LogManager:
         record.lsn = self.end_lsn
         blob = record.serialize()
         self._data += blob
+        self._append_hist.observe(len(blob))
         if isinstance(record, CommitRecord):
             self._last_commit_lsn = record.lsn
         stats = self.env.stats
@@ -254,46 +262,51 @@ class LogManager:
         result: dict[int, LogRecord] = {}
         if not wanted:
             return result
-        for lsn in wanted:
-            self._check_readable(lsn)
-        stats = self.env.stats
-        needed: list[int] = []
-        for lsn in wanted:
-            if lsn >= self._durable_end:
-                continue  # volatile tail: in memory, free
-            block = lsn // self.block_size
-            if needed and needed[-1] == block:
-                # A second record in a block this batch already fetches.
+        with self.env.tracer.span("log.read_many", records=len(wanted)) as span:
+            for lsn in wanted:
+                self._check_readable(lsn)
+            stats = self.env.stats
+            needed: list[int] = []
+            for lsn in wanted:
+                if lsn >= self._durable_end:
+                    continue  # volatile tail: in memory, free
+                block = lsn // self.block_size
+                if needed and needed[-1] == block:
+                    # A second record in a block this batch already fetches.
+                    if for_undo:
+                        stats.undo_log_cache_hits += 1
+                    continue
+                if block in self._cache:
+                    self._cache.move_to_end(block)
+                    if for_undo:
+                        stats.undo_log_cache_hits += 1
+                    continue
+                needed.append(block)
+            spans: list[list[int]] = []
+            for block in needed:
+                if spans and block - spans[-1][1] - 1 <= self.coalesce_gap_blocks:
+                    spans[-1][1] = block
+                else:
+                    spans.append([block, block])
+            span.set(
+                spans=len(spans),
+                blocks=sum(end - start + 1 for start, end in spans),
+            )
+            for start, end in spans:
+                nblocks = end - start + 1
+                self.env.log_device.read_random(nblocks * self.block_size)
                 if for_undo:
-                    stats.undo_log_cache_hits += 1
-                continue
-            if block in self._cache:
-                self._cache.move_to_end(block)
-                if for_undo:
-                    stats.undo_log_cache_hits += 1
-                continue
-            needed.append(block)
-        spans: list[list[int]] = []
-        for block in needed:
-            if spans and block - spans[-1][1] - 1 <= self.coalesce_gap_blocks:
-                spans[-1][1] = block
-            else:
-                spans.append([block, block])
-        for start, end in spans:
-            nblocks = end - start + 1
-            self.env.log_device.read_random(nblocks * self.block_size)
-            if for_undo:
-                stats.undo_log_reads += 1
-                stats.undo_reads_coalesced += nblocks - 1
-            for block in range(start, end + 1):
-                self._cache[block] = None
-                self._cache.move_to_end(block)
-            while len(self._cache) > self.cache_blocks:
-                self._cache.popitem(last=False)
-        for lsn in wanted:
-            record, _end = decode_record(self._data, lsn - self._base, lsn)
-            result[lsn] = record
-        return result
+                    stats.undo_log_reads += 1
+                    stats.undo_reads_coalesced += nblocks - 1
+                for block in range(start, end + 1):
+                    self._cache[block] = None
+                    self._cache.move_to_end(block)
+                while len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
+            for lsn in wanted:
+                record, _end = decode_record(self._data, lsn - self._base, lsn)
+                result[lsn] = record
+            return result
 
     # ------------------------------------------------------------------
     # Raw byte access (log shipping)

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.engine.checkpoint import Checkpointer
-from repro.sim.clock import host_perf_counter
+from repro.obs.timing import host_timing
 from repro.workload.tpcc_schema import TpccScale
 from repro.workload.tpcc_txns import (
     delivery,
@@ -132,11 +132,11 @@ class TpccDriver:
         """Run exactly ``count`` transactions of the mix."""
         result = TpccResult()
         sim_start = self.db.env.clock.now()
-        real_start = host_perf_counter()
-        for _ in range(count):
-            self._run_one(result)
+        with host_timing() as timer:
+            for _ in range(count):
+                self._run_one(result)
         result.sim_seconds = self.db.env.clock.now() - sim_start
-        result.real_seconds = host_perf_counter() - real_start
+        result.real_seconds = timer.elapsed
         return result
 
     def run_for(self, sim_seconds: float) -> TpccResult:
@@ -147,17 +147,17 @@ class TpccDriver:
         """
         result = TpccResult()
         sim_start = self.db.env.clock.now()
-        real_start = host_perf_counter()
         deadline = sim_start + sim_seconds
-        while self.db.env.clock.now() < deadline:
-            before = self.db.env.clock.now()
-            self._run_one(result)
-            if self.db.env.clock.now() <= before and not self.think_time_s:
-                raise RuntimeError(
-                    "run_for needs a cost model that advances the clock"
-                )
+        with host_timing() as timer:
+            while self.db.env.clock.now() < deadline:
+                before = self.db.env.clock.now()
+                self._run_one(result)
+                if self.db.env.clock.now() <= before and not self.think_time_s:
+                    raise RuntimeError(
+                        "run_for needs a cost model that advances the clock"
+                    )
         result.sim_seconds = self.db.env.clock.now() - sim_start
-        result.real_seconds = host_perf_counter() - real_start
+        result.real_seconds = timer.elapsed
         return result
 
     def stock_level_query(self, reader, w_id: int = 1, d_id: int = 1, threshold: int = 60) -> int:

@@ -1,0 +1,441 @@
+"""Observability layer: registry semantics, trace shape, determinism.
+
+The acceptance contract this file pins down, from the public surface
+only (SQL and the engine API):
+
+* one ``reset()`` clears *every* counter — the io sheet, the ad-hoc
+  extras, and each subsystem stats object registered over the registry;
+* a warm AS OF re-read shows a ``version_store.lookup hit=True`` span
+  and **zero** undo-path log reads, while the cold run shows the chain
+  walk with its coalesced-span read counts;
+* two identical seeded runs produce byte-identical metric snapshots and
+  span trees (everything is timed on the simulated clock).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import DatabaseConfig, Engine
+from repro.config import CostModel, SimEnv
+from repro.obs.export import flatten_snapshot, metrics_to_text
+from repro.obs.registry import METRICS_SCHEMA, MetricsRegistry
+from repro.sim.device import SAS_10K
+from repro.workload import TpccScale, load_tpcc
+from repro.workload.driver import TpccDriver
+from tests.conftest import ITEMS_SCHEMA, fill_items
+
+# ---------------------------------------------------------------------------
+# Registry unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_owned_and_backed(self):
+        registry = MetricsRegistry()
+        owned = registry.counter("a.hits")
+        owned.inc()
+        owned.inc(2)
+        assert owned.value == 3
+
+        class Stats:
+            misses = 0
+
+        stats = Stats()
+        backed = registry.backed_counter(
+            "a.misses",
+            read=lambda: stats.misses,
+            write=lambda v: setattr(stats, "misses", v),
+        )
+        backed.inc(5)
+        assert stats.misses == 5  # the external storage is the storage
+        stats.misses = 9
+        assert backed.value == 9
+
+    def test_counter_rejects_negative_and_kind_clash(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.n")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            registry.gauge("a.n", lambda: 0)
+
+    def test_reregistration_semantics(self):
+        registry = MetricsRegistry()
+        # Owned counters and histograms return the existing instrument.
+        assert registry.counter("a.n") is registry.counter("a.n")
+        assert registry.histogram("a.h") is registry.histogram("a.h")
+        # Gauges and backed counters *replace* — a subsystem restart
+        # rebinds the metric to its new live object.
+        registry.gauge("a.g", lambda: 1)
+        registry.gauge("a.g", lambda: 2)
+        assert registry.snapshot()["gauges"]["a.g"] == 2
+
+    def test_histogram_buckets_deterministic(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["buckets"] == [[1.0, 2], [10.0, 1]]
+        assert snap["overflow"] == 1
+        assert snap["count"] == 4
+        assert snap["sum"] == 106.5
+
+    def test_snapshot_glob_and_flatten(self):
+        registry = MetricsRegistry()
+        registry.counter("pool.hits").inc(3)
+        registry.counter("log.records").inc(7)
+        registry.gauge("pool.bytes", lambda: 11)
+        snap = registry.snapshot("pool.*")
+        assert snap["schema"] == METRICS_SCHEMA
+        assert list(snap["counters"]) == ["pool.hits"]
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat == {"log.records": 7, "pool.bytes": 11, "pool.hits": 3}
+        assert metrics_to_text(snap) == ["pool.bytes = 11", "pool.hits = 3"]
+
+    def test_remove_prefix_unwinds_subsystem(self):
+        registry = MetricsRegistry()
+        registry.counter("replica.r1.frames").inc()
+        registry.gauge("replica.r1.lag", lambda: 0)
+        registry.counter("replica.r2.frames").inc()
+        registry.remove_prefix("replica.r1.")
+        assert registry.names("replica.*") == ["replica.r2.frames"]
+
+    def test_reset_zeroes_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("a.n").inc(4)
+        registry.histogram("a.h").observe(1.0)
+        registry.gauge("a.g", lambda: 42)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["a.n"] == 0
+        assert snap["histograms"]["a.h"]["count"] == 0
+        assert snap["gauges"]["a.g"] == 42  # derived, untouched
+
+
+# ---------------------------------------------------------------------------
+# IoStats shim over the registry: the one-reset contract
+# ---------------------------------------------------------------------------
+
+
+def _traced_engine():
+    """Priced engine (clock advances under I/O) with the items table."""
+    env = SimEnv(SAS_10K, SAS_10K, CostModel())
+    engine = Engine(env, config=DatabaseConfig(page_size=1024, buffer_pool_pages=64))
+    db = engine.create_database("vdb")
+    db.create_table(ITEMS_SCHEMA)
+    return engine, db
+
+
+def test_one_reset_clears_every_counter(items_schema):
+    """`env.stats.reset()` clears the io sheet, the ad-hoc extras *and*
+    every subsystem stats object — the PR-4-era gap where
+    `version_store_*` mirrors were zeroed while the store's own counters
+    kept ticking is closed."""
+    engine, db = _traced_engine()
+    clock = engine.env.clock
+    fill_items(db, 20)
+    clock.advance(5)
+    t_past = clock.now()
+    clock.advance(5)
+    with db.transaction() as txn:
+        for i in range(20):
+            db.update(txn, "items", (i,), {"qty": i})
+    with engine.query_as_of("vdb", t_past) as snap:
+        list(snap.scan("items"))
+    engine.snapshot_pool.clear()
+    with engine.query_as_of("vdb", t_past) as snap:
+        list(snap.scan("items"))
+    engine.env.stats.bump("adhoc_probe", 3)
+
+    stats = engine.env.stats
+    assert stats.log_records > 0
+    assert stats.pages_prepared_asof > 0
+    assert stats.version_store_publishes > 0
+    assert stats.version_store_hits > 0
+    assert engine.version_store.stats.hits > 0
+    assert engine.snapshot_pool.stats.misses > 0
+
+    stats.reset()
+
+    flat = flatten_snapshot(engine.metrics_snapshot())
+    nonzero = {
+        name: value
+        for name, value in flat.items()
+        if value and (name.split(".")[-1] not in ("count", "sum"))
+        and not _is_gauge(engine, name)
+    }
+    assert nonzero == {}, f"counters survived reset: {nonzero}"
+    # The subsystem stats objects themselves were cleared too.
+    assert engine.version_store.stats.hits == 0
+    assert engine.snapshot_pool.stats.misses == 0
+    assert stats.get("adhoc_probe") == 0
+
+
+def _is_gauge(engine, name: str) -> bool:
+    from repro.obs.registry import Gauge
+
+    return type(engine.env.metrics.get(name)) is Gauge
+
+
+# ---------------------------------------------------------------------------
+# Trace shape: cold chain walk vs warm version-store hit
+# ---------------------------------------------------------------------------
+
+
+def _cold_warm_traces(engine, db):
+    """(cold, warm) traces of the same AS OF read, pool dropped between."""
+    clock = engine.env.clock
+    fill_items(db, 20)
+    clock.advance(5)
+    t_past = clock.now()
+    clock.advance(5)
+    with db.transaction() as txn:
+        for i in range(20):
+            db.update(txn, "items", (i,), {"qty": i})
+    with engine.trace("cold") as cold:
+        with engine.query_as_of("vdb", t_past) as snap:
+            list(snap.scan("items"))
+    engine.snapshot_pool.clear()
+    with engine.trace("warm") as warm:
+        with engine.query_as_of("vdb", t_past) as snap:
+            list(snap.scan("items"))
+    return cold, warm
+
+
+def test_cold_trace_shows_chain_walk(items_schema):
+    engine, db = _traced_engine()
+    cold, _ = _cold_warm_traces(engine, db)
+
+    pin = cold.find("asof.pin")
+    assert pin is not None and pin.attrs["db"] == "vdb"
+    acquire = pin.find("pool.acquire")
+    assert acquire is not None and acquire.attrs["hit"] is False
+    assert acquire.find("asof.resolve_split") is not None
+    assert acquire.find("asof.create_at_split") is not None
+
+    walks = cold.find_all("asof.chain_walk")
+    assert walks, "cold read must chain-walk"
+    # Every walked page missed the store first, and the walk's I/O
+    # carries the batched read counts the bench quotes.
+    for walk in walks:
+        probe = cold.find("version_store.lookup")
+        assert probe is not None and probe.attrs["hit"] is False
+    walk_io = {}
+    for walk in walks:
+        for key, value in walk.io.items():
+            walk_io[key] = walk_io.get(key, 0) + value
+    assert walk_io.get("pages_prepared_asof", 0) == len(walks)
+
+
+def test_warm_trace_hits_store_and_skips_undo(items_schema):
+    engine, db = _traced_engine()
+    _, warm = _cold_warm_traces(engine, db)
+
+    probes = warm.find_all("version_store.lookup")
+    assert probes and all(p.attrs["hit"] is True for p in probes)
+    assert warm.find("asof.chain_walk") is None
+    io = warm.root.io
+    assert io.get("undo_log_reads", 0) == 0
+    assert io.get("undo_header_reads", 0) == 0
+    assert io.get("version_store_hits", 0) == len(probes)
+
+
+def test_span_nesting_and_sim_timing(items_schema):
+    """Spans nest engine → pool → version-store/log-manager, and every
+    span's sim interval lies inside its parent's."""
+    engine, db = _traced_engine()
+    cold, _ = _cold_warm_traces(engine, db)
+
+    def check(span):
+        for child in span.children:
+            assert child.start_s >= span.start_s
+            assert child.end_s <= span.end_s
+            check(child)
+
+    check(cold.root)
+    walk = cold.find("asof.chain_walk")
+    assert walk is not None
+    prep = cold.find("asof.prepare_page")
+    assert walk in prep.find_all("asof.chain_walk")
+    # The batched log reads happen inside the chain walk.
+    assert cold.find("log.read_many") is not None
+    assert cold.root.elapsed_s > 0  # priced env: sim time advanced
+
+
+def test_trace_is_exclusive_and_cheap_when_inactive(items_schema):
+    engine, db = _traced_engine()
+    with engine.trace("outer"):
+        with pytest.raises(ValueError):
+            with engine.trace("inner"):
+                pass
+    # Inactive: instrumentation points return the shared no-op span.
+    tracer = engine.env.tracer
+    assert not tracer.active
+    from repro.obs.tracer import NULL_SPAN
+
+    assert tracer.span("anything", k=1) is NULL_SPAN
+
+
+# ---------------------------------------------------------------------------
+# SQL surface: SHOW METRICS and TRACE
+# ---------------------------------------------------------------------------
+
+
+def _sql_engine():
+    env = SimEnv(SAS_10K, SAS_10K, CostModel())
+    engine = Engine(env)
+    engine.sql("CREATE DATABASE shop")
+    with engine.session("shop") as session:
+        session.execute(
+            "CREATE TABLE items (id INT NOT NULL, qty INT, PRIMARY KEY (id))"
+        )
+        session.execute("INSERT INTO items VALUES (1, 10), (2, 20)")
+        session.execute("UPDATE items SET qty = 11 WHERE id = 1")
+        session.execute("CHECKPOINT")
+    return engine
+
+
+def test_show_metrics_rows():
+    engine = _sql_engine()
+    with engine.session("shop") as session:
+        result = session.execute("SHOW METRICS LIKE 'log.shop.*'")
+    assert result.columns == ("name", "value")
+    rows = dict(result.rows)
+    assert rows["log.shop.end_lsn"] > 0
+    # Unfiltered SHOW METRICS includes histogram count/sum rows.
+    with engine.session("shop") as session:
+        result = session.execute("SHOW METRICS")
+    names = [name for name, _ in result.rows]
+    assert "sql.execute_sim_s.count" in names
+    assert names == sorted(names)
+
+
+def test_show_metrics_parse_errors():
+    engine = _sql_engine()
+    from repro.errors import SqlError
+
+    with engine.session("shop") as session:
+        with pytest.raises(SqlError):
+            session.execute("SHOW GAUGES")
+
+
+def test_sql_trace_cold_vs_warm(items_schema):
+    """The acceptance walk, from SQL only: cold TRACE shows the chain
+    walk; after the pool is dropped, the warm TRACE shows the
+    version-store hit and zero undo-path log reads."""
+    engine = _sql_engine()
+    as_of = engine.env.clock.now()
+    with engine.session("shop") as session:
+        session.execute("UPDATE items SET qty = 99 WHERE id = 2")
+        cold = session.execute(f"TRACE SELECT * FROM items AS OF {as_of}")
+        assert cold.columns == ("span",)
+        cold_text = "\n".join(line for (line,) in cold.rows)
+        assert "asof.chain_walk" in cold_text
+        assert "version_store.lookup" in cold_text and "hit=False" in cold_text
+
+        engine.snapshot_pool.clear()
+        warm = session.execute(f"TRACE SELECT * FROM items AS OF {as_of}")
+        warm_text = "\n".join(line for (line,) in warm.rows)
+        assert "hit=True" in warm_text
+        assert "asof.chain_walk" not in warm_text
+        assert "undo_log_reads" not in warm_text
+        assert "undo_header_reads" not in warm_text
+        # The traced statement nests under the TRACE root.
+        assert warm.rows[0][0].startswith("sql.trace")
+        assert warm.rows[1][0].startswith("  sql.execute stmt=Select")
+
+
+# ---------------------------------------------------------------------------
+# Determinism: seeded run ⇒ byte-identical snapshots and traces
+# ---------------------------------------------------------------------------
+
+
+def _seeded_run():
+    """One seeded TPC-C burst + cold/warm AS OF reads; returns the
+    snapshot JSON and both rendered traces."""
+    env = SimEnv(SAS_10K, SAS_10K, CostModel())
+    engine = Engine(env)
+    scale = TpccScale(
+        warehouses=1, districts_per_warehouse=2, customers_per_district=6, items=30
+    )
+    db = engine.create_database("tpcc")
+    load_tpcc(db, scale, seed=11)
+    driver = TpccDriver(db, scale, seed=11, think_time_s=0.1)
+    driver.run_transactions(30)
+    target = env.clock.now() - 2.0
+    driver.run_transactions(5)
+
+    with engine.trace("cold") as cold:
+        driver.stock_level_as_of(engine, target)
+    engine.snapshot_pool.clear()
+    with engine.trace("warm") as warm:
+        driver.stock_level_as_of(engine, target)
+    snapshot = json.dumps(engine.metrics_snapshot(), sort_keys=True)
+    return snapshot, cold.render(), warm.render()
+
+
+def test_seeded_runs_are_byte_identical():
+    first = _seeded_run()
+    second = _seeded_run()
+    assert first[0] == second[0]  # metrics snapshot JSON
+    assert first[1] == second[1]  # cold span tree
+    assert first[2] == second[2]  # warm span tree
+    # And the traces differ from each other in the expected way.
+    assert any("asof.chain_walk" in line for line in first[1])
+    assert any("hit=True" in line for line in first[2])
+
+
+# ---------------------------------------------------------------------------
+# Derived gauges: lag and occupancy without sampling
+# ---------------------------------------------------------------------------
+
+
+def test_replica_and_archiver_lag_gauges(tmp_path):
+    env = SimEnv(SAS_10K, SAS_10K, CostModel())
+    engine = Engine(env)
+    engine.sql("CREATE DATABASE shop")
+    engine.add_replica("shop", "standby")
+    engine.enable_archiving("shop", directory=str(tmp_path))
+    with engine.session("shop") as session:
+        session.execute("CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))")
+        session.execute("INSERT INTO t VALUES (1), (2)")
+        session.execute("CHECKPOINT")
+
+    flat = flatten_snapshot(engine.metrics_snapshot())
+    assert flat["replica.standby.apply_lag_bytes"] > 0
+    assert flat["archive.shop.cursor_lag_bytes"] > 0
+    assert flat["replica.standby.apply_lag_s"] > 0.0
+
+    engine.replication_tick()
+    flat = flatten_snapshot(engine.metrics_snapshot())
+    assert flat["replica.standby.apply_lag_bytes"] == 0
+    assert flat["archive.shop.cursor_lag_bytes"] == 0
+    assert flat["replica.standby.apply_lag_s"] == 0.0
+    assert flat["shipper.shop.subscribers"] == 2
+
+    # Dropping the replica unwinds its instruments.
+    engine.drop_replica("standby")
+    names = engine.env.metrics.names("replica.standby.*")
+    assert names == []
+
+
+def test_retention_pin_gauge_tracks_pooled_split(items_schema):
+    engine, db = _traced_engine()
+    clock = engine.env.clock
+    fill_items(db, 10)
+    clock.advance(5)
+    t_past = clock.now()
+    clock.advance(5)
+    with db.transaction() as txn:
+        db.update(txn, "items", (0,), {"qty": 1})
+
+    flat = flatten_snapshot(engine.metrics_snapshot())
+    baseline = flat["retention.vdb.pin_lag_bytes"]
+    with engine.query_as_of("vdb", t_past):
+        flat = flatten_snapshot(engine.metrics_snapshot())
+        pinned = flat["retention.vdb.pin_lag_bytes"]
+    assert pinned > baseline  # the pooled split pins log behind the tail

@@ -25,7 +25,14 @@ def check(source, relpath, select=None):
 
 class TestFramework:
     def test_every_rule_registered(self):
-        assert set(all_rules()) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert set(all_rules()) == {
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        }
 
     def test_syntax_error_reported_as_rl000(self):
         findings = check("def broken(:\n", "src/repro/engine/x.py")
@@ -199,6 +206,38 @@ class TestSharedStateDiscipline:
         assert rules_of(findings) == ["RL005"]
 
 
+class TestObsInstrumentation:
+    def test_bare_host_clock_read_flagged(self):
+        src = (
+            "from repro.sim.clock import host_perf_counter\n"
+            "def bench():\n"
+            "    t0 = host_perf_counter()\n"
+            "    work()\n"
+            "    return host_perf_counter() - t0\n"
+        )
+        findings = check(src, "src/repro/workload/x.py", {"RL006"})
+        assert rules_of(findings) == ["RL006", "RL006"]
+        assert "host_timing" in findings[0].message
+
+    def test_host_timing_wrapper_clean(self):
+        src = (
+            "from repro.obs.timing import host_timing\n"
+            "def bench():\n"
+            "    with host_timing() as timer:\n"
+            "        work()\n"
+            "    return timer.elapsed\n"
+        )
+        assert check(src, "src/repro/workload/x.py", {"RL006"}) == []
+
+    def test_obs_and_sim_modules_exempt(self):
+        src = (
+            "from repro.sim.clock import host_perf_counter\n"
+            "t = host_perf_counter()\n"
+        )
+        assert check(src, "src/repro/obs/timing.py", {"RL006"}) == []
+        assert check(src, "src/repro/sim/clock.py", {"RL006"}) == []
+
+
 class TestSuppressions:
     SRC = "import time\nx = time.time()  # reprolint: ignore[RL003]\n"
 
@@ -254,7 +293,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert rule_id in out
 
 
