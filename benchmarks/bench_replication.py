@@ -52,6 +52,10 @@ def run_replication_bench(smoke: bool = False) -> dict:
     # -- steady-state lag under the workload ---------------------------
     replica = engine.add_replica(db.name, "standby")
     driver.pump = engine.replication_tick
+    # The monitor rides the same pump: its recorder watches the lag
+    # gauges across the run and its alert timeline lands in the payload
+    # (a healthy run ships with zero firing alerts).
+    engine.start_monitor()
     lag_samples: list[int] = []
     for _ in range(sample_rounds):
         driver.run_transactions(txns_per_round)
@@ -111,6 +115,10 @@ def run_replication_bench(smoke: bool = False) -> dict:
         "catchup_mb_per_s": (
             backlog_bytes / catchup_s / 1e6 if catchup_s > 0 else 0.0
         ),
+        "monitor_samples": engine.monitor.recorder.samples_taken,
+        "alert_events": engine.alert_events(),
+        "health": engine.health()["overall"],
+        "lag_history": engine.monitor_history("replica.standby.apply_lag_bytes"),
     }
     return attach_metrics(payload, env)
 
@@ -136,6 +144,8 @@ def main(argv=None) -> int:
     table.add("warm AS OF on standby (s)", result["replica_warm_asof_s"])
     table.add("warm AS OF on primary (s)", result["primary_warm_asof_s"])
     table.add("bulk catch-up (MB/s)", result["catchup_mb_per_s"])
+    table.add("monitor samples", result["monitor_samples"])
+    table.add("health", result["health"])
     table.show()
     path = save_results("replication", result)
     print(f"\nresults saved to {path}")

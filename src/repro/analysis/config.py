@@ -81,6 +81,12 @@ SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     # never mutates the tables directly.
     {"attr": "_instruments", "owners": ("repro/obs/registry.py",)},
     {"attr": "_span_stack", "owners": ("repro/obs/tracer.py",)},
+    # Monitoring: recorded series, alert condition states, and the
+    # slow-query ring — read through the monitor/engine surfaces,
+    # purged through remove_prefix on drop.
+    {"attr": "_series", "owners": ("repro/obs/timeseries.py",)},
+    {"attr": "_conditions", "owners": ("repro/obs/alerts.py",)},
+    {"attr": "_slow_entries", "owners": ("repro/obs/slowlog.py",)},
 )
 
 #: Private methods of shared structures that outside modules must not

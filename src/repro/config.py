@@ -126,6 +126,62 @@ class SimEnv:
 
 
 @dataclass(frozen=True)
+class MonitorConfig:
+    """Knobs for the continuous-monitoring layer (:mod:`repro.obs`).
+
+    Cadence and thresholds are all in *simulated* units: the recorder
+    samples on the sim clock from the engine's pump points, so one
+    config on one seeded workload yields one byte-identical monitoring
+    timeline.
+    """
+
+    #: Sim-clock sampling cadence for the metrics recorder; seconds.
+    sample_interval_s: float = 1.0
+    #: Per-series ring capacity (samples retained).
+    history_samples: int = 512
+    #: Bounded capacity of the alert firing/cleared event timeline.
+    events_capacity: int = 256
+    #: ``repl.apply_lag`` fires when a replica's unapplied bytes exceed this.
+    apply_lag_bytes: int = 1 << 20
+    #: ``repl.apply_lag_s`` fires when a replica trails by this many seconds.
+    apply_lag_s: float = 30.0
+    #: Debounce: apply-lag breaches must hold this long before firing.
+    apply_lag_for_s: float = 0.0
+    #: ``archive.cursor_lag`` fires beyond this archiver backlog.
+    archive_lag_bytes: int = 4 << 20
+    #: ``retention.pin_pressure`` fires when a pin holds back this much log.
+    pin_lag_bytes: int = 8 << 20
+    #: ``pool.occupancy`` fires above this fraction of the pool budget.
+    pool_occupancy: float = 0.95
+    #: ``version_store.hit_rate_floor`` fires below this hit rate ...
+    version_store_hit_rate_floor: float = 0.10
+    #: ... but only after this many lookups (avoids judging a cold cache).
+    version_store_min_lookups: int = 100
+    #: Statements slower than this (simulated) land in the slow-query
+    #: log; 0 disables capture.
+    slow_query_sim_s: float = 1.0
+    #: Bounded capacity of the slow-query ring.
+    slow_query_capacity: int = 32
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        if self.history_samples < 2:
+            raise ValueError("history_samples must be at least 2")
+        if self.events_capacity < 1:
+            raise ValueError("events_capacity must be at least 1")
+        if not 0.0 <= self.version_store_hit_rate_floor <= 1.0:
+            raise ValueError("version_store_hit_rate_floor must be in [0, 1]")
+        if not 0.0 < self.pool_occupancy <= 1.0:
+            raise ValueError("pool_occupancy must be in (0, 1]")
+        if self.slow_query_sim_s < 0:
+            raise ValueError("slow_query_sim_s must be >= 0")
+        if self.slow_query_capacity < 1:
+            raise ValueError("slow_query_capacity must be at least 1")
+
+
+@dataclass(frozen=True)
 class DatabaseConfig:
     """Per-database configuration.
 

@@ -7,7 +7,7 @@ from datetime import datetime
 
 from typing import TYPE_CHECKING, Iterator
 
-from repro.config import DatabaseConfig, SimEnv
+from repro.config import DatabaseConfig, MonitorConfig, SimEnv
 from repro.engine.database import Database
 from repro.errors import CatalogError, RetentionExceededError, SnapshotError
 from repro.obs.install import (
@@ -19,6 +19,8 @@ from repro.obs.install import (
     remove_database_metrics,
     remove_replica_metrics,
 )
+from repro.obs.monitor import EngineMonitor
+from repro.obs.slowlog import SlowQueryLog
 from repro.sim.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
@@ -57,6 +59,7 @@ class Engine:
         config: DatabaseConfig | None = None,
         snapshot_pool_budget: int | None = None,
         version_store_budget: int | None = None,
+        monitor_config: MonitorConfig | None = None,
     ) -> None:
         from repro.core.snapshot_pool import DEFAULT_POOL_BUDGET_BYTES, SnapshotPool
         from repro.core.version_store import (
@@ -99,6 +102,18 @@ class Engine:
         self.read_offload = False
         #: A replica is routable for current reads only within this lag.
         self.read_offload_max_lag_bytes = 1 << 20
+        #: Continuous monitoring (see :mod:`repro.obs.monitor`): ``None``
+        #: until :meth:`start_monitor` arms it.
+        self.monitor_config = (
+            monitor_config if monitor_config is not None else MonitorConfig()
+        )
+        self.monitor_config.validate()
+        self.monitor: "EngineMonitor | None" = None
+        #: Always-on slow-statement capture (``SHOW SLOW QUERIES``).
+        self.slow_queries = SlowQueryLog(
+            self.monitor_config.slow_query_sim_s,
+            self.monitor_config.slow_query_capacity,
+        )
         install_engine_metrics(self)
 
     # ------------------------------------------------------------------
@@ -161,6 +176,7 @@ class Engine:
         del self.databases[name]
         remove_database_metrics(self, name)
         self.env.metrics.remove_prefix(f"shipper.{name}.")
+        self._purge_monitor(f"log.{name}.", f"retention.{name}.", f"shipper.{name}.")
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -339,6 +355,7 @@ class Engine:
         replica.drop()
         del self.replicas[name]
         remove_replica_metrics(self, name)
+        self._purge_monitor(f"replica.{name}.", f"pool.{name}.")
 
     def replicas_of(self, db_name: str) -> list["Replica"]:
         return [
@@ -361,6 +378,7 @@ class Engine:
             shipper.detach(name)
         del self.replicas[name]
         remove_replica_metrics(self, name)
+        self._purge_monitor(f"replica.{name}.", f"pool.{name}.")
         self._register_pool_pin(db)
         self.databases[name] = db
         install_database_metrics(self, db)
@@ -379,6 +397,9 @@ class Engine:
         for replica in self.replicas.values():
             if not replica.dropped:
                 applied += replica.apply_ready()
+        # Tick after shipping/applying: the monitor observes the settled
+        # post-pump state, not the transient mid-poll lag.
+        self.monitor_tick()
         return applied
 
     def routing_replica(self, db_name: str) -> "Replica | None":
@@ -778,6 +799,111 @@ class Engine:
     def set_version_store_budget(self, budget_bytes: int) -> None:
         """Resize (or, with ``0``, disable) the shared version store."""
         self.version_store.set_budget(budget_bytes)
+
+    # ------------------------------------------------------------------
+    # Continuous monitoring (see repro.obs.monitor)
+    # ------------------------------------------------------------------
+
+    def start_monitor(
+        self,
+        *,
+        config: MonitorConfig | None = None,
+        rules=None,
+        like: str | None = None,
+    ) -> "EngineMonitor":
+        """Arm continuous monitoring: the recorder takes its first sample
+        now and further samples on its sim-clock cadence from the
+        engine's pump points (every SQL statement, every
+        ``replication_tick``). Idempotent unless ``config``/``rules``
+        ask for a different setup while a monitor is live."""
+        if self.monitor is not None:
+            if config is not None or rules is not None or like is not None:
+                raise ValueError(
+                    "monitor already started; stop_monitor() before "
+                    "reconfiguring"
+                )
+            return self.monitor
+        if config is not None:
+            config.validate()
+            self.monitor_config = config
+        self.monitor = EngineMonitor(
+            self.env.metrics,
+            self.env.clock,
+            self.monitor_config,
+            rules=rules,
+            like=like,
+        )
+        self.monitor.start()
+        return self.monitor
+
+    def stop_monitor(self) -> None:
+        """Disarm monitoring; recorded history and alert state are
+        discarded."""
+        self.monitor = None
+
+    def monitor_tick(self) -> bool:
+        """One pump-point tick (no-op when the monitor is off); returns
+        whether a sample+evaluation ran."""
+        if self.monitor is None:
+            return False
+        return self.monitor.tick()
+
+    def monitor_history(
+        self, like: str | None = None, window_s: float | None = None
+    ) -> dict:
+        """Windowed per-series summaries from the recorder (empty when
+        the monitor is off)."""
+        if self.monitor is None:
+            return {}
+        return self.monitor.history(like, window_s)
+
+    def active_alerts(self) -> list[dict]:
+        """Currently-firing alert conditions (empty when the monitor is
+        off)."""
+        if self.monitor is None:
+            return []
+        return self.monitor.active_alerts()
+
+    def alert_events(self) -> list[dict]:
+        """The bounded firing/cleared event timeline, oldest first."""
+        if self.monitor is None:
+            return []
+        return self.monitor.events()
+
+    def health(self) -> dict:
+        """Per-subsystem OK/DEGRADED/CRITICAL rollup of active alerts.
+
+        With the monitor off this degrades gracefully to an overall OK
+        with ``monitoring: False`` — callers can always read it.
+        """
+        from repro.obs.health import HEALTH_SCHEMA, OK
+
+        if self.monitor is None:
+            return {
+                "schema": HEALTH_SCHEMA,
+                "overall": OK,
+                "monitoring": False,
+                "subsystems": {},
+            }
+        doc = self.monitor.health()
+        doc["monitoring"] = True
+        return doc
+
+    def on_alert(self, pattern: str, callback) -> None:
+        """Subscribe ``callback(event)`` to firing/cleared transitions of
+        rules matching ``pattern`` — the hook HA failover logic uses to
+        react to ``repl.apply_lag``. Requires a started monitor."""
+        if self.monitor is None:
+            raise ValueError("start_monitor() before subscribing to alerts")
+        self.monitor.on_alert(pattern, callback)
+
+    def _purge_monitor(self, *prefixes: str) -> None:
+        """Drop a dead subsystem's series and alert conditions (ghost
+        alerts must not outlive a DROP/promote)."""
+        if self.monitor is None:
+            return
+        for prefix in prefixes:
+            self.monitor.remove_prefix(prefix)
 
     # ------------------------------------------------------------------
 

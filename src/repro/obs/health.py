@@ -1,0 +1,46 @@
+"""Health rollup: fold active alerts into per-subsystem verdicts.
+
+Health is pure derivation — no state of its own. Every rule declares a
+``subsystem``; a subsystem with no firing alerts is OK, one with a
+firing ``warning`` is DEGRADED, one with a firing ``critical`` is
+CRITICAL, and the overall verdict is the worst across subsystems. The
+rollup lists every subsystem the installed rules cover (not just the
+unhappy ones) so ``SHOW HEALTH`` reads as a complete status board.
+"""
+
+from __future__ import annotations
+
+#: Canonical health document schema identifier.
+HEALTH_SCHEMA = "repro.obs.health/v1"
+
+OK = "OK"
+DEGRADED = "DEGRADED"
+CRITICAL = "CRITICAL"
+
+_SEVERITY_VERDICT = {"warning": DEGRADED, "critical": CRITICAL}
+_RANK = {OK: 0, DEGRADED: 1, CRITICAL: 2}
+
+
+def worst(a: str, b: str) -> str:
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+def rollup(alert_engine) -> dict:
+    """The health document for the current alert state."""
+    subsystems: dict[str, dict] = {}
+    for rule in alert_engine.rules():
+        subsystems.setdefault(rule.subsystem, {"verdict": OK, "alerts": []})
+    for row in alert_engine.active():
+        entry = subsystems.setdefault(row["subsystem"], {"verdict": OK, "alerts": []})
+        entry["verdict"] = worst(entry["verdict"], _SEVERITY_VERDICT[row["severity"]])
+        entry["alerts"].append(
+            {"rule": row["rule"], "metric": row["metric"], "severity": row["severity"]}
+        )
+    overall = OK
+    for entry in subsystems.values():
+        overall = worst(overall, entry["verdict"])
+    return {
+        "schema": HEALTH_SCHEMA,
+        "overall": overall,
+        "subsystems": {name: subsystems[name] for name in sorted(subsystems)},
+    }

@@ -46,6 +46,13 @@ def install_pool_metrics(registry, prefix: str, pool) -> None:
         ),
         "pooled-acquire hit rate",
     )
+    registry.gauge(
+        f"{prefix}.occupancy",
+        lambda: (
+            pool.total_bytes() / pool.budget_bytes if pool.budget_bytes else 0.0
+        ),
+        "pooled bytes as a fraction of the budget",
+    )
 
 
 def install_version_store_metrics(registry, store) -> None:
@@ -75,6 +82,11 @@ def install_version_store_metrics(registry, store) -> None:
         "version_store.hit_rate",
         lambda: store.stats.hit_rate,
         "store-probe hit rate (chain walks skipped)",
+    )
+    registry.gauge(
+        "version_store.lookups",
+        lambda: store.stats.hits + store.stats.misses,
+        "total store probes (alert guard for the hit-rate floor)",
     )
 
 

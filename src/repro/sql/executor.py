@@ -257,13 +257,34 @@ class Session:
         if handler is None:
             raise SqlExecutionError(f"unsupported statement {type(stmt).__name__}")
         env = self.engine.env
+        # Slow-statement capture needs a live trace to retain the span
+        # tree — but the tracer is exclusive, so auto-trace only when
+        # nothing else (an outer TRACE, a caller's engine.trace) owns it.
+        slow_log = self.engine.slow_queries
+        capture = (
+            slow_log.enabled and not env.tracer.active and type(stmt) is not Trace
+        )
+        handle = env.tracer.begin("sql.statement") if capture else None
         started = env.clock.now()
-        with env.tracer.span("sql.execute", stmt=type(stmt).__name__) as span:
-            result = handler(stmt)
-            span.set(rows=result.rowcount)
+        try:
+            with env.tracer.span("sql.execute", stmt=type(stmt).__name__) as span:
+                result = handler(stmt)
+                span.set(rows=result.rowcount)
+        finally:
+            elapsed = env.clock.now() - started
+            if handle is not None:
+                env.tracer.finish(handle)
+                if elapsed >= slow_log.threshold_s:
+                    slow_log.record(
+                        t_s=started,
+                        statement=type(stmt).__name__,
+                        sim_s=elapsed,
+                        spans=handle.render(),
+                    )
         env.metrics.histogram(
             "sql.execute_sim_s", "sim-seconds per SQL statement"
-        ).observe(env.clock.now() - started)
+        ).observe(elapsed)
+        self.engine.monitor_tick()
         return result
 
     # ------------------------------------------------------------------
@@ -581,6 +602,72 @@ class Session:
             snap = self.engine.metrics_snapshot(stmt.like)
             rows = list(flatten_snapshot(snap).items())
             return Result(("name", "value"), rows, rowcount=len(rows))
+        if stmt.what == "HEALTH":
+            doc = self.engine.health()
+            rows = [("overall", doc["overall"], "")]
+            for name, entry in doc["subsystems"].items():
+                alerts = ", ".join(
+                    f"{a['rule']}({a['metric']})" for a in entry["alerts"]
+                )
+                rows.append((name, entry["verdict"], alerts))
+            return Result(("subsystem", "verdict", "alerts"), rows, rowcount=len(rows))
+        if stmt.what == "ALERTS":
+            monitor = self.engine.monitor
+            condition_rows = monitor.alert_rows() if monitor is not None else []
+            rows = [
+                (
+                    row["rule"],
+                    row["metric"],
+                    row["state"],
+                    row["severity"],
+                    row["value"],
+                    row["fired_at"],
+                    row["cleared_at"],
+                    row["fired_count"],
+                )
+                for row in condition_rows
+            ]
+            return Result(
+                (
+                    "rule",
+                    "metric",
+                    "state",
+                    "severity",
+                    "value",
+                    "fired_at",
+                    "cleared_at",
+                    "fired_count",
+                ),
+                rows,
+                rowcount=len(rows),
+            )
+        if stmt.what == "HISTORY":
+            history = self.engine.monitor_history(stmt.like)
+            rows = [
+                (
+                    name,
+                    summary["points"],
+                    summary["last"],
+                    summary["min"],
+                    summary["max"],
+                    summary["mean"],
+                    summary["rate_per_s"],
+                )
+                for name, summary in history.items()
+            ]
+            return Result(
+                ("metric", "points", "last", "min", "max", "mean", "rate_per_s"),
+                rows,
+                rowcount=len(rows),
+            )
+        if stmt.what == "SLOW QUERIES":
+            rows = [
+                (row["t_s"], row["statement"], row["sim_s"], row["spans"])
+                for row in self.engine.slow_queries.rows()
+            ]
+            return Result(
+                ("t_s", "statement", "sim_s", "spans"), rows, rowcount=len(rows)
+            )
         rows = [(name,) for name in sorted(self.engine.snapshots)]
         return Result(("name",), rows, rowcount=len(rows))
 

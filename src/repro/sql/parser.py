@@ -380,7 +380,25 @@ class Parser:
                 if self.accept_word("LIKE"):
                     like = self.expect_string()
                 return Show("METRICS", like=like)
-            raise self.error("expected TABLES, SNAPSHOTS or METRICS")
+            if self.accept_word("HEALTH"):
+                return Show("HEALTH")
+            if self.accept_word("ALERTS"):
+                return Show("ALERTS")
+            if self.accept_word("HISTORY"):
+                like = None
+                if self.peek().ttype is TokenType.STRING:
+                    like = self.expect_string()
+                elif self.accept_word("LIKE"):
+                    like = self.expect_string()
+                return Show("HISTORY", like=like)
+            if self.accept_word("SLOW"):
+                if not self.accept_word("QUERIES"):
+                    raise self.error("expected QUERIES after SLOW")
+                return Show("SLOW QUERIES")
+            raise self.error(
+                "expected TABLES, SNAPSHOTS, METRICS, HEALTH, ALERTS, "
+                "HISTORY or SLOW QUERIES"
+            )
         raise self.error(f"unsupported statement {word}")
 
     def parse_table_ref(self, *, allow_as_of: bool = False) -> TableRef:

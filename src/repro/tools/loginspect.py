@@ -388,19 +388,35 @@ def metrics_report(engine, db_name: str | None = None) -> list[str]:
     metrics registry (``shipper.*``, ``archive.*``, ``replica.*``,
     ``log.*``, ``retention.*``). ``db_name`` keeps only instruments whose
     instance segment matches (replica instruments are named after the
-    *replica*, so they pass the filter only unfiltered).
+    *replica*, so they pass the filter only unfiltered). Histograms are
+    reported as interpolated p50/p95/p99 summaries rather than raw
+    bucket dumps.
     """
-    from repro.obs.export import flatten_snapshot, format_metric_value
+    from repro.obs.export import (
+        flatten_snapshot,
+        format_metric_value,
+        histogram_percentiles,
+    )
 
     sections = ("shipper", "archive", "replica", "log", "retention")
+    snap = engine.metrics_snapshot()
     lines = []
-    for name, value in flatten_snapshot(engine.metrics_snapshot()).items():
+    for name, value in flatten_snapshot(snap).items():
         head, _, rest = name.partition(".")
         if head not in sections:
             continue
         if db_name is not None and not rest.startswith(f"{db_name}."):
             continue
         lines.append(f"{name} = {format_metric_value(value)}")
+    for name in sorted(snap.get("histograms", {})):
+        hist = snap["histograms"][name]
+        if hist["count"] == 0:
+            continue
+        quantiles = " ".join(
+            f"{label}={format_metric_value(value)}"
+            for label, value in histogram_percentiles(hist).items()
+        )
+        lines.append(f"{name}: count={hist['count']} {quantiles}")
     return lines
 
 

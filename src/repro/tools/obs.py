@@ -11,12 +11,21 @@ Because the workload is seeded and all timing is simulated, two
 invocations print byte-identical output — which is exactly what CI's
 ``obs`` job checks.
 
+The monitoring modes (``--watch``, ``--history``, ``--alerts``) run a
+second seeded demo with a replica and an induced lag burst, so the
+``repl.apply_lag`` alert deterministically fires and clears while the
+recorder samples — the same scenario ``examples/monitoring_tour.py``
+walks through.
+
 Usage::
 
     python -m repro.tools.obs                 # text metrics
     python -m repro.tools.obs --json          # canonical JSON snapshot
     python -m repro.tools.obs --like 'pool.*' # filtered
     python -m repro.tools.obs --trace         # plus cold/warm span trees
+    python -m repro.tools.obs --watch         # health during a lag burst
+    python -m repro.tools.obs --history       # recorded series summaries
+    python -m repro.tools.obs --alerts        # alert states + timeline
 """
 
 from __future__ import annotations
@@ -24,9 +33,9 @@ from __future__ import annotations
 import argparse
 import json
 
-from repro.config import CostModel, SimEnv
+from repro.config import CostModel, MonitorConfig, SimEnv
 from repro.engine.engine import Engine
-from repro.obs.export import metrics_to_text
+from repro.obs.export import format_metric_value, metrics_to_text
 from repro.sim.device import SAS_10K
 
 
@@ -68,6 +77,86 @@ def demo_trace_lines(engine: Engine) -> list[str]:
     return lines
 
 
+def build_monitored_demo(watch_lines: list[str] | None = None) -> Engine:
+    """A seeded engine running the monitored lag scenario to completion.
+
+    A replica attaches, the monitor arms, a write burst runs *without*
+    replication ticks (apply lag builds until ``repl.apply_lag`` fires),
+    then replication catches up and the alert clears. ``watch_lines``
+    collects health transitions as they happen — the ``--watch`` view.
+    """
+    env = SimEnv(SAS_10K, SAS_10K, CostModel())
+    engine = Engine(
+        env,
+        monitor_config=MonitorConfig(
+            sample_interval_s=0.01,
+            apply_lag_bytes=8 * 1024,
+            slow_query_sim_s=0.005,
+        ),
+    )
+    engine.sql("CREATE DATABASE shop")
+
+    def note(stage: str) -> None:
+        if watch_lines is not None:
+            doc = engine.health()
+            watch_lines.append(
+                f"[t={env.clock.now():.6f}] {stage}: overall={doc['overall']} "
+                f"firing={len(engine.active_alerts())}"
+            )
+
+    with engine.session("shop") as session:
+        session.execute(
+            "CREATE TABLE items (id INT NOT NULL, qty INT, PRIMARY KEY (id))"
+        )
+        engine.add_replica("shop", "standby")
+        engine.replication_tick()
+        engine.start_monitor()
+        note("monitor armed")
+        # Lag burst: writes without replication ticks; the SQL pump
+        # point keeps sampling, so the recorder watches lag build.
+        for i in range(120):
+            session.execute(f"INSERT INTO items VALUES ({i}, {i * 10})")
+        note("write burst done")
+        engine.replication_tick()
+        env.clock.advance(engine.monitor_config.sample_interval_s)
+        session.execute("SELECT COUNT(*) FROM items")
+        note("replication caught up")
+    return engine
+
+
+def history_text(engine: Engine, like: str | None = None) -> list[str]:
+    """Per-series summary lines (the ``SHOW HISTORY`` view)."""
+    lines = []
+    for name, summary in engine.monitor_history(like).items():
+        lines.append(
+            f"{name}: points={summary['points']} "
+            f"last={format_metric_value(summary['last'])} "
+            f"min={format_metric_value(summary['min'])} "
+            f"max={format_metric_value(summary['max'])} "
+            f"mean={format_metric_value(summary['mean'])} "
+            f"rate={format_metric_value(summary['rate_per_s'])}/s"
+        )
+    return lines
+
+
+def alerts_text(engine: Engine) -> list[str]:
+    """Alert condition rows plus the firing/cleared timeline."""
+    monitor = engine.monitor
+    lines = ["-- alert conditions --"]
+    for row in monitor.alert_rows() if monitor is not None else []:
+        lines.append(
+            f"{row['rule']} on {row['metric']}: {row['state']} "
+            f"({row['severity']}, fired {row['fired_count']}x)"
+        )
+    lines.append("-- event timeline --")
+    for event in engine.alert_events():
+        lines.append(
+            f"[t={event['t']:.6f}] {event['event']}: {event['rule']} "
+            f"on {event['metric']} value={format_metric_value(event['value'])}"
+        )
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -89,7 +178,53 @@ def main(argv=None) -> int:
         action="store_true",
         help="also print cold/warm AS OF span traces (text mode only)",
     )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="run the monitored lag demo and print health transitions",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="run the monitored lag demo and print recorded series",
+    )
+    parser.add_argument(
+        "--alerts",
+        action="store_true",
+        help="run the monitored lag demo and print alert states + events",
+    )
     args = parser.parse_args(argv)
+
+    if args.watch or args.history or args.alerts:
+        watch_lines: list[str] = []
+        engine = build_monitored_demo(watch_lines if args.watch else None)
+        if args.json:
+            monitor = engine.monitor
+            document = {
+                "history": monitor.recorder.as_dict(args.like),
+                "alerts": monitor.alerts.as_dict(),
+                "health": engine.health(),
+                "slow_queries": engine.slow_queries.rows(),
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        if args.watch:
+            for line in watch_lines:
+                print(line)
+        if args.history:
+            for line in history_text(engine, args.like):
+                print(line)
+        if args.alerts:
+            for line in alerts_text(engine):
+                print(line)
+        if engine.slow_queries.rows():
+            print(f"-- slow queries ({len(engine.slow_queries.rows())}) --")
+            for row in engine.slow_queries.rows():
+                print(
+                    f"[t={row['t_s']:.6f}] {row['statement']} "
+                    f"sim_s={format_metric_value(row['sim_s'])}"
+                )
+        return 0
 
     engine = build_demo_engine()
     trace_lines = demo_trace_lines(engine) if args.trace else []
