@@ -30,6 +30,13 @@ Quickstart::
 
 from repro.archive import ArchiveStore, IncrementalBackup, LogArchiver
 from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.chaos import (
+    FailoverCoordinator,
+    FailureDetector,
+    FaultInjector,
+    FaultRule,
+    RetryPolicy,
+)
 from repro.config import CostModel, DatabaseConfig, LoggingExtensions, SimEnv
 from repro.core.asof import AsOfSnapshot
 from repro.core.page_undo import prepare_page_as_of, prepare_page_version
@@ -39,12 +46,15 @@ from repro.engine.database import Database, Table
 from repro.engine.engine import Engine
 from repro.errors import (
     ArchiveError,
+    DatabaseUnavailableError,
     DeadlockError,
     DuplicateKeyError,
+    FaultInjectedError,
     KeyNotFoundError,
     LogTruncatedError,
     MissingUndoInfoError,
     ReplicationError,
+    ReplicationFaultError,
     ReproError,
     RetentionExceededError,
     SnapshotError,
@@ -83,8 +93,16 @@ __all__ = [
     "ArchiveStore",
     "LogArchiver",
     "IncrementalBackup",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "FailureDetector",
+    "FailoverCoordinator",
     "ReproError",
     "ReplicationError",
+    "ReplicationFaultError",
+    "FaultInjectedError",
+    "DatabaseUnavailableError",
     "ArchiveError",
     "RetentionExceededError",
     "MissingUndoInfoError",

@@ -87,6 +87,13 @@ SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     {"attr": "_series", "owners": ("repro/obs/timeseries.py",)},
     {"attr": "_conditions", "owners": ("repro/obs/alerts.py",)},
     {"attr": "_slow_entries", "owners": ("repro/obs/slowlog.py",)},
+    # Chaos: the armed fault schedule and its deterministic event log
+    # live in the injector; HA detection state in the detector; the HA
+    # timeline is appended only through Engine._record_ha.
+    {"attr": "_fault_rules", "owners": ("repro/chaos/injector.py",)},
+    {"attr": "_fault_events", "owners": ("repro/chaos/injector.py",)},
+    {"attr": "_ha_state", "owners": ("repro/chaos/detector.py",)},
+    {"attr": "ha_events", "owners": ("repro/engine/engine.py",)},
 )
 
 #: Private methods of shared structures that outside modules must not
@@ -193,6 +200,26 @@ TRUNCATION_HANDLERS: frozenset[str] = frozenset(
     {"LogTruncatedError", "WalError", "ReproError", "Exception", "BaseException"}
 )
 
+#: Broad handlers RL007 polices in the replication/archive/chaos scope —
+#: a handler this wide must re-raise, wrap typed, or record the fault;
+#: silently swallowing it hides injected (and real) faults from the
+#: retry, alerting and failure-detection layers.
+BROAD_EXCEPTION_HANDLERS: frozenset[str] = frozenset(
+    {"Exception", "BaseException"}
+)
+
+#: Calls RL007 accepts as "the fault was recorded" (matched on the last
+#: dotted component of the call target).
+FAULT_RECORDERS: frozenset[str] = frozenset(
+    {
+        "_note_failure",
+        "note_apply_fault",
+        "record_external",
+        "record_fault",
+        "note_fault",
+    }
+)
+
 
 def _default_rules() -> dict[str, RuleConfig]:
     return {
@@ -245,6 +272,17 @@ def _default_rules() -> dict[str, RuleConfig]:
             include=("src/repro/*", "tests/*"),
             exclude=("src/repro/obs/*", "src/repro/sim/*"),
             options={"banned_calls": BARE_TIMING_CALLS},
+        ),
+        "RL007": RuleConfig(
+            include=(
+                "src/repro/replication/*",
+                "src/repro/archive/*",
+                "src/repro/chaos/*",
+            ),
+            options={
+                "broad_handlers": BROAD_EXCEPTION_HANDLERS,
+                "recorders": FAULT_RECORDERS,
+            },
         ),
     }
 

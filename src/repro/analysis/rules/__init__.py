@@ -3,6 +3,7 @@
 from repro.analysis.rules import (  # noqa: F401
     determinism,
     error_surface,
+    fault_handling,
     lsn,
     obs,
     priced_io,

@@ -1,0 +1,85 @@
+"""RL007 — fault-handling discipline in the replication/archive paths.
+
+Chaos hardening (PR 9) only works if faults stay *visible*: a broad
+``except Exception:`` that neither re-raises, wraps into a typed error,
+nor records the failure turns an injected fault — or a real torn frame —
+into silent data divergence: the cursor looks healthy, the alerting
+layer sees nothing, and the failure detector can never confirm what it
+cannot observe.
+
+Inside the replication and archive modules, any handler catching
+``Exception``/``BaseException`` (including a bare ``except:``) must do
+at least one of:
+
+* ``raise`` (re-raise or wrap typed, e.g. ``ReplicationFaultError``);
+* call a sanctioned fault recorder (``_note_failure``,
+  ``note_apply_fault``, ``record_external``, ...) so the failure lands
+  on the retry/backoff and alerting surfaces.
+
+Narrow handlers (specific exception types) are out of scope — catching
+what you expect is fine; swallowing *everything* silently is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Rule, dotted_name, handler_names, register
+
+#: Handler names treated as "catches everything".
+DEFAULT_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+#: Calls that count as recording the fault (last dotted component).
+DEFAULT_FAULT_RECORDERS = frozenset(
+    {
+        "_note_failure",
+        "note_apply_fault",
+        "record_external",
+        "record_fault",
+        "note_fault",
+    }
+)
+
+
+@register
+class FaultHandlingDiscipline(Rule):
+    id = "RL007"
+    name = "fault-handling"
+    invariant = (
+        "replication/archive code never swallows a broad exception "
+        "silently: broad handlers re-raise, wrap typed, or record the fault"
+    )
+
+    def check(self, ctx) -> None:
+        opts = ctx.config.rule(self.id).options
+        broad = frozenset(opts.get("broad_handlers", DEFAULT_BROAD_HANDLERS))
+        recorders = frozenset(opts.get("recorders", DEFAULT_FAULT_RECORDERS))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = handler_names(node) & broad
+            if not caught:
+                continue
+            if _handles_fault(node, recorders):
+                continue
+            self.report(
+                ctx,
+                node,
+                f"broad handler (except {'/'.join(sorted(caught))}) "
+                f"swallows the fault: re-raise, wrap it typed "
+                f"(ReplicationFaultError), or record it via one of "
+                f"{sorted(recorders)}",
+            )
+
+
+def _handles_fault(handler: ast.ExceptHandler, recorders: frozenset) -> bool:
+    """Does the handler body re-raise or call a sanctioned recorder?"""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.rsplit(".", 1)[-1] in recorders:
+                    return True
+    return False

@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.archive.store import ArchiveStore
-from repro.errors import ArchiveError
+from repro.errors import (
+    ArchiveError,
+    FaultInjectedError,
+    ReplicationError,
+    ReplicationFaultError,
+)
 from repro.replication.stream import LogFrame
 from repro.wal.lsn import format_lsn
 
@@ -28,6 +33,9 @@ class ArchiverStats:
 
     segments_archived: int = 0
     bytes_archived: int = 0
+    #: Transient receive/flush faults (each left the cursor put; the
+    #: shipper's retry resends the segment).
+    receive_errors: int = 0
 
 
 class LogArchiver:
@@ -103,10 +111,28 @@ class LogArchiver:
         return self._cursor
 
     def receive(self, blob: bytes) -> int:
-        """Durably archive one shipped frame; returns the new cursor."""
+        """Durably archive one shipped frame; returns the new cursor.
+
+        Transient faults — a torn/corrupt frame on the wire, an injected
+        crash during the store flush — are re-raised typed with the
+        archive cursor as the resume point: the cursor never advanced,
+        so the shipper's retry resends exactly this segment and the
+        archive stays gap-free (the store-then-advance ordering is the
+        atomicity point).
+        """
         if self.closed:
             raise ArchiveError(f"archiver {self.name!r} is closed")
-        frame = LogFrame.decode(blob)
+        try:
+            frame = LogFrame.decode(blob)
+        except ReplicationFaultError:
+            raise
+        except ReplicationError as err:
+            self.stats.receive_errors += 1
+            raise ReplicationFaultError(
+                f"archiver {self.name!r} rejected a frame at "
+                f"{format_lsn(self._cursor)}: {err}",
+                resume_lsn=self._cursor,
+            ) from err
         if frame.start_lsn != self._cursor:
             raise ArchiveError(
                 f"archiver {self.name!r} expected frame at "
@@ -118,7 +144,14 @@ class LogArchiver:
         with self.db.env.tracer.span(
             "archive.receive", db=self.db.name, bytes=len(frame.payload)
         ):
-            self.store.put_segment(self.db.name, blob)
+            chaos = getattr(self.db.env, "chaos", None)
+            if chaos is not None:
+                chaos.hit("archive.receive", target=self.name)
+            try:
+                self.store.put_segment(self.db.name, blob)
+            except FaultInjectedError:
+                self.stats.receive_errors += 1
+                raise
         self._cursor = frame.end_lsn
         self.stats.segments_archived += 1
         self.stats.bytes_archived += len(frame.payload)

@@ -21,7 +21,7 @@ import os
 from dataclasses import dataclass
 
 from repro.config import SimEnv
-from repro.errors import ArchiveError, BackupError
+from repro.errors import ArchiveError, BackupError, FaultInjectedError
 from repro.replication.stream import LogFrame
 from repro.sim import hostio
 from repro.sim.device import DeviceProfile, SimDevice
@@ -102,6 +102,7 @@ class ArchiveStore:
             env.clock,
             env.stats,
         )
+        self.device.chaos = getattr(env, "chaos", None)
         self.directory = directory
         if directory is not None:
             hostio.ensure_directory(directory)
@@ -147,12 +148,28 @@ class ArchiveStore:
             ship_wall=frame.ship_wall,
             blob=bytes(blob),
         )
-        self._charge_write(len(blob))
+        path = None
         if self.directory is not None:
             path = os.path.join(
                 self.directory,
                 f"{db_name}-{frame.start_lsn:016x}-{frame.end_lsn:016x}.seg",
             )
+        chaos = getattr(self.env, "chaos", None)
+        if chaos is not None:
+            try:
+                chaos.hit("archive.flush", target=db_name)
+            except FaultInjectedError:
+                # A crash mid-flush leaves at most a torn partial file on
+                # the medium; the in-memory index never sees the segment
+                # (the append below is the atomicity point), so the
+                # archive stays gap-free and the retried flush simply
+                # overwrites the torn artifact with the full frame.
+                if path is not None:
+                    self._charge_write(len(blob) // 2)
+                    hostio.write_blob(path, blob[: max(1, len(blob) // 2)])
+                raise
+        self._charge_write(len(blob))
+        if path is not None:
             hostio.write_blob(path, blob)
         segments.append(segment)
         self.env.stats.archive_segments_written += 1

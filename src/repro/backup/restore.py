@@ -204,6 +204,7 @@ def init_restored_shell(engine, name: str, config, backup_lsn: int) -> Database:
     )
     restored.catalog = Catalog(restored.services)
     restored.read_only = False
+    restored.crashed = False
     restored.last_checkpoint_lsn = backup_lsn
     restored.invalidate_caches()
     restored.snapshots = {}

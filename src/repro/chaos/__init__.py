@@ -1,0 +1,41 @@
+"""Deterministic chaos: seeded fault injection and the HA machinery it tests.
+
+The package has two halves that meet in the engine:
+
+- **Injection** (:mod:`repro.chaos.injector`): a :class:`FaultInjector`
+  holds seeded :class:`FaultRule` schedules against named injection
+  points at every cross-component boundary (shipper poll/send, stream
+  frame, redo apply, archiver receive/flush, device read/write,
+  backup/restore page copies, primary crash). Same seed + same rules +
+  same workload → byte-identical fault event log.
+
+- **Survival** (:mod:`repro.chaos.retry`, :mod:`~repro.chaos.detector`,
+  :mod:`~repro.chaos.failover`): :class:`RetryPolicy` backs the
+  shipper/apply exponential backoff, :class:`FailureDetector` turns
+  alert-engine signals into suspect → confirmed-down verdicts, and
+  :class:`FailoverCoordinator` promotes the most-caught-up healthy
+  replica when a primary is confirmed dead.
+
+See ``docs/ha.md`` for the fault model, the injection-point catalog, and
+the failover state machine.
+"""
+
+from repro.chaos.detector import FailureDetector
+from repro.chaos.failover import FailoverCoordinator
+from repro.chaos.injector import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultRule,
+)
+from repro.chaos.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "FailoverCoordinator",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+]

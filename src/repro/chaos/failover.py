@@ -1,0 +1,51 @@
+"""Automatic failover: promote the most-caught-up replica on primary death.
+
+The :class:`FailoverCoordinator` owns a :class:`FailureDetector` and acts
+on its ``confirmed_down`` verdicts: it asks the engine to fail over —
+promote the most-caught-up healthy replica of the dead primary, re-point
+every surviving shipper subscription, archiver, and read-offload route at
+the new primary, and decommission the corpse. The winner choice and every
+re-pointing step live in :meth:`Engine.failover_to_replica`; this class
+only sequences detection → decision → action deterministically and makes
+the action idempotent (one failover per dead primary, ever).
+"""
+
+from __future__ import annotations
+
+from repro.chaos.detector import FailureDetector
+from repro.errors import ReplicationError
+
+
+class FailoverCoordinator:
+    """Detector + one-shot failover action per confirmed-down primary."""
+
+    def __init__(self, engine, *, confirm_s: float = 2.0) -> None:
+        self.engine = engine
+        #: Dead primary name -> promoted survivor name.
+        self.completed: dict[str, str] = {}
+        self.detector = FailureDetector(
+            engine, confirm_s=confirm_s, on_down=self._failover
+        )
+
+    def tick(self) -> None:
+        """Advance detection; the engine calls this from replication_tick."""
+        self.detector.tick()
+
+    def _failover(self, db_name: str) -> None:
+        if db_name in self.completed:
+            return
+        try:
+            promoted = self.engine.failover_to_replica(db_name)
+        except ReplicationError as err:
+            # No surviving replica (or promotion refused): record the
+            # stranding so the operator timeline shows why the database
+            # stayed down — there is nothing automatic left to do.
+            self.engine._record_ha("failover_failed", db_name, str(err))
+            return
+        self.completed[db_name] = promoted.name
+
+    def __repr__(self) -> str:
+        return (
+            f"FailoverCoordinator(confirm_s={self.detector.confirm_s}, "
+            f"completed={self.completed})"
+        )

@@ -1,0 +1,41 @@
+"""Exponential-backoff retry policy for replication/archive boundaries.
+
+One tiny, dependency-free knob object shared by the shipper's
+per-subscriber retry loop and the engine's per-replica apply retry: a
+failed boundary operation schedules its next attempt ``delay(streak)``
+sim-seconds out, doubling per consecutive failure up to a cap. Pure
+arithmetic over the sim clock — no sleeping, no threads — so retries are
+as deterministic as everything else in the sim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base_delay_s * multiplier**(streak-1)``,
+    capped at ``max_delay_s``."""
+
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+
+    def delay(self, streak: int) -> float:
+        """Backoff before attempt ``streak + 1`` (``streak`` >= 1 is the
+        number of consecutive failures so far)."""
+        if streak < 1:
+            return 0.0
+        return min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (streak - 1),
+        )

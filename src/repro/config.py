@@ -113,6 +113,9 @@ class SimEnv:
         self.data_device = SimDevice(data_profile, self.clock, self.stats)
         self.log_device = SimDevice(log_profile, self.clock, self.stats)
         self.cost = cost if cost is not None else CostModel.free()
+        #: Seeded fault injector shared by every component on this machine
+        #: (``None`` until :meth:`Engine.enable_chaos` arms it).
+        self.chaos = None
 
     def charge_cpu(self, seconds: float) -> None:
         """Advance the clock for CPU work (no device involved)."""
@@ -162,6 +165,12 @@ class MonitorConfig:
     slow_query_sim_s: float = 1.0
     #: Bounded capacity of the slow-query ring.
     slow_query_capacity: int = 32
+    #: ``repl.ship_errors`` fires at this many consecutive failed ship
+    #: attempts to one subscriber.
+    ship_error_streak: int = 3
+    #: ``repl.ship_stall`` (absence) fires when a subscription's
+    #: ``progress_t`` series has been stale for this long; seconds.
+    ship_stall_s: float = 5.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on nonsensical settings."""
@@ -179,6 +188,10 @@ class MonitorConfig:
             raise ValueError("slow_query_sim_s must be >= 0")
         if self.slow_query_capacity < 1:
             raise ValueError("slow_query_capacity must be at least 1")
+        if self.ship_error_streak < 1:
+            raise ValueError("ship_error_streak must be at least 1")
+        if self.ship_stall_s <= 0:
+            raise ValueError("ship_stall_s must be positive")
 
 
 @dataclass(frozen=True)

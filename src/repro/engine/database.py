@@ -184,6 +184,9 @@ class Database:
         )
         self.catalog = Catalog(self.services)
         self.read_only = False
+        #: Set when chaos halts this primary (engine.crash_database): the
+        #: write path refuses service until failover retires the node.
+        self.crashed = False
         self.last_checkpoint_lsn = NULL_LSN
         self._boot_cache: BootRecord | None = None
         self._table_cache: dict[str, Table] = {}
@@ -377,6 +380,13 @@ class Database:
     # ------------------------------------------------------------------
 
     def require_writable(self) -> None:
+        if self.crashed:
+            from repro.errors import DatabaseUnavailableError
+
+            raise DatabaseUnavailableError(
+                f"database {self.name!r} is down (crashed primary); "
+                f"fail over to a replica"
+            )
         if self.read_only:
             raise SnapshotReadOnlyError(f"database {self.name!r} is read-only")
 

@@ -7,9 +7,17 @@ from datetime import datetime
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.chaos import FailoverCoordinator, FaultInjector, RetryPolicy
 from repro.config import DatabaseConfig, MonitorConfig, SimEnv
 from repro.engine.database import Database
-from repro.errors import CatalogError, RetentionExceededError, SnapshotError
+from repro.errors import (
+    CatalogError,
+    FaultInjectedError,
+    ReplicationError,
+    ReplicationFaultError,
+    RetentionExceededError,
+    SnapshotError,
+)
 from repro.obs.install import (
     install_archiver_metrics,
     install_database_metrics,
@@ -114,6 +122,15 @@ class Engine:
             self.monitor_config.slow_query_sim_s,
             self.monitor_config.slow_query_capacity,
         )
+        #: Seeded fault injector (``None`` until :meth:`enable_chaos`).
+        self.chaos: FaultInjector | None = None
+        #: Automatic failover (``None`` until :meth:`enable_auto_failover`).
+        self.ha: FailoverCoordinator | None = None
+        #: The HA timeline: crash / suspect / confirmed_down / failover
+        #: events, seq-numbered and sim-timestamped (deterministic).
+        self.ha_events: list[dict] = []
+        #: Backoff for replica apply retries under injected faults.
+        self._apply_retry = RetryPolicy()
         install_engine_metrics(self)
 
     # ------------------------------------------------------------------
@@ -170,13 +187,20 @@ class Engine:
             # Capture the durable tail, then stop following the primary.
             archiver.poll()
             archiver.close()
-        self._shippers.pop(name, None)
+        shipper = self._shippers.pop(name, None)
+        if shipper is not None:
+            shipper.remove_metrics()
         self.snapshot_pool.purge_database(name)
         self.version_store.purge(name)
         del self.databases[name]
         remove_database_metrics(self, name)
         self.env.metrics.remove_prefix(f"shipper.{name}.")
-        self._purge_monitor(f"log.{name}.", f"retention.{name}.", f"shipper.{name}.")
+        self._purge_monitor(
+            f"log.{name}.",
+            f"retention.{name}.",
+            f"shipper.{name}.",
+            f"repl.ship.~archive:{name}.",
+        )
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -278,7 +302,6 @@ class Engine:
         that long before applying — the delayed-apply error-recovery
         window.
         """
-        from repro.errors import ReplicationError
         from repro.replication.replica import Replica
         from repro.wal.lsn import FIRST_LSN
 
@@ -355,7 +378,9 @@ class Engine:
         replica.drop()
         del self.replicas[name]
         remove_replica_metrics(self, name)
-        self._purge_monitor(f"replica.{name}.", f"pool.{name}.")
+        self._purge_monitor(
+            f"replica.{name}.", f"pool.{name}.", f"repl.ship.{name}."
+        )
 
     def replicas_of(self, db_name: str) -> list["Replica"]:
         return [
@@ -378,7 +403,9 @@ class Engine:
             shipper.detach(name)
         del self.replicas[name]
         remove_replica_metrics(self, name)
-        self._purge_monitor(f"replica.{name}.", f"pool.{name}.")
+        self._purge_monitor(
+            f"replica.{name}.", f"pool.{name}.", f"repl.ship.{name}."
+        )
         self._register_pool_pin(db)
         self.databases[name] = db
         install_database_metrics(self, db)
@@ -390,16 +417,38 @@ class Engine:
         Returns the number of records applied across all replicas. The
         workload driver calls this between transactions (the simulated
         stand-in for the shipper/apply daemons of a real deployment).
+
+        Under chaos this is also the engine's survival loop: scheduled
+        primary crashes land here, a transient fault in one replica's
+        apply is contained to that replica (recorded and retried under
+        backoff — every other subscription keeps flowing), and the HA
+        coordinator gets its detection/failover tick after the monitor
+        has observed the settled state.
         """
-        for shipper in self._shippers.values():
+        if self.chaos is not None:
+            for target in self.chaos.due_crashes(self.env.clock.now()):
+                if target in self.databases and not self.databases[target].crashed:
+                    self.crash_database(target)
+        for shipper in list(self._shippers.values()):
             shipper.poll()
         applied = 0
-        for replica in self.replicas.values():
-            if not replica.dropped:
+        now = self.env.clock.now()
+        for replica in list(self.replicas.values()):
+            if replica.dropped or now < replica.apply_retry_s:
+                continue
+            try:
                 applied += replica.apply_ready()
+            except (ReplicationFaultError, FaultInjectedError) as err:
+                if not err.transient:
+                    raise
+                replica.note_apply_fault(err, now, self._apply_retry)
+            else:
+                replica.note_apply_ok()
         # Tick after shipping/applying: the monitor observes the settled
         # post-pump state, not the transient mid-poll lag.
         self.monitor_tick()
+        if self.ha is not None:
+            self.ha.tick()
         return applied
 
     def routing_replica(self, db_name: str) -> "Replica | None":
@@ -417,6 +466,8 @@ class Engine:
         for replica in self.replicas_of(db_name):
             if replica.apply_delay_s > 0:
                 continue
+            if replica.is_faulted():
+                continue  # degrade: route around a standby stuck in apply
             if replica.applied_commit_lsn == NULL_LSN:
                 continue
             if replica.lag_bytes() > self.read_offload_max_lag_bytes:
@@ -430,6 +481,177 @@ class Engine:
         self.read_offload = True
         if max_lag_bytes is not None:
             self.read_offload_max_lag_bytes = max_lag_bytes
+
+    # ------------------------------------------------------------------
+    # Chaos & high availability (see repro.chaos and docs/ha.md)
+    # ------------------------------------------------------------------
+
+    def enable_chaos(self, seed: int = 0, rules=()) -> FaultInjector:
+        """Arm deterministic fault injection across the whole machine.
+
+        One seeded :class:`~repro.chaos.injector.FaultInjector` is shared
+        by every component (shippers, replicas, archivers, devices,
+        backup/restore) through ``env.chaos``; ``rules`` are
+        :class:`~repro.chaos.injector.FaultRule` schedules to start with
+        (more can be added on the returned injector). Idempotent — a
+        second call adds rules to the existing injector.
+        """
+        if self.chaos is None:
+            self.chaos = FaultInjector(self.env.clock, seed=seed)
+            self.env.chaos = self.chaos
+            self.env.data_device.chaos = self.chaos
+            self.env.log_device.chaos = self.chaos
+            for archiver in self.archives.values():
+                archiver.store.device.chaos = self.chaos
+        for rule in rules:
+            self.chaos.add_rule(rule)
+        return self.chaos
+
+    def fault_events(self) -> list[dict]:
+        """The injector's deterministic fault log (``SHOW FAULTS``)."""
+        if self.chaos is None:
+            return []
+        return self.chaos.events()
+
+    def _record_ha(self, event: str, db: str, detail: str) -> None:
+        self.ha_events.append(
+            {
+                "seq": len(self.ha_events),
+                "t": self.env.clock.now(),
+                "event": event,
+                "db": db,
+                "detail": detail,
+            }
+        )
+
+    def crash_database(self, name: str) -> None:
+        """Halt ``name``: the process dies, durable media survive.
+
+        The durable log tail is drained to subscribers first — the
+        tail-log-backup step every failover story starts with; it carries
+        no volatile state, only what the dead primary's log device already
+        held. The volatile (unflushed) tail is lost, which costs no
+        committed work: every commit flushes the log, so committed ⇒
+        durable. From here every write raises
+        :class:`~repro.errors.DatabaseUnavailableError` and ship polls
+        fail until :meth:`failover_to_replica` (or the auto-failover
+        coordinator) promotes a survivor.
+        """
+        db = self.database(name)
+        if db.crashed:
+            return
+        shipper = self._shippers.get(name)
+        if shipper is not None:
+            shipper.poll()
+        db.crashed = True
+        self._record_ha(
+            "crash", name, "primary halted; durable tail drained to subscribers"
+        )
+
+    def shipper_errors(self, db_name: str) -> dict[str, int]:
+        """Consecutive ship-failure streak per subscriber of ``db_name``'s
+        outbound stream (empty when it ships to nobody) — the failure
+        detector's liveness read."""
+        shipper = self._shippers.get(db_name)
+        if shipper is None:
+            return {}
+        return shipper.subscriber_errors()
+
+    def enable_auto_failover(self, confirm_s: float = 2.0) -> FailoverCoordinator:
+        """Arm automatic failover: a failure detector on the monitor's
+        ship-health alerts confirms primary death after ``confirm_s``
+        sim-seconds of sustained no-progress, then the coordinator
+        promotes the most-caught-up healthy replica and re-points the
+        surviving topology (see :meth:`failover_to_replica`). Starts the
+        monitor if it is not running. Idempotent."""
+        if self.ha is not None:
+            return self.ha
+        if self.monitor is None:
+            self.start_monitor()
+        self.ha = FailoverCoordinator(self, confirm_s=confirm_s)
+        return self.ha
+
+    def failover_to_replica(
+        self, db_name: str, replica_name: str | None = None
+    ) -> Database:
+        """Promote a survivor of ``db_name`` and re-point the topology.
+
+        The winner is ``replica_name`` if given, else the most-caught-up
+        (highest received LSN, name as deterministic tie-break) replica
+        that is not itself faulted — falling back to faulted survivors
+        when nothing healthy remains. Every *other* surviving replica is
+        re-attached to the promoted primary's shipper (cursors resume
+        LSN-checked — the shipped history is byte-identical), the
+        archiver continues onto the same store under the new primary's
+        name, the old primary is decommissioned, and read offload
+        naturally follows the re-pointed replicas.
+        """
+        survivors = self.replicas_of(db_name)
+        if not survivors:
+            raise ReplicationError(
+                f"cannot fail over {db_name!r}: no surviving replica"
+            )
+        if replica_name is not None:
+            winner = self.replica(replica_name)
+            if winner.primary.name != db_name:
+                raise ReplicationError(
+                    f"replica {replica_name!r} replicates "
+                    f"{winner.primary.name!r}, not {db_name!r}"
+                )
+        else:
+            healthy = [r for r in survivors if not r.is_faulted()] or survivors
+            winner = max(healthy, key=lambda r: (r.received_lsn, r.name))
+        others = [r for r in survivors if r is not winner]
+        old_shipper = self._shippers.get(db_name)
+        archiver = self.archives.get(db_name)
+        promoted = self.promote_replica(winner.name)
+        new_shipper = self.shipper_for(promoted.name)
+        for rep in others:
+            if old_shipper is not None:
+                old_shipper.detach(rep.name)
+            rep.primary = promoted
+            rep.db.version_store_key = promoted.name
+            new_shipper.attach(rep)
+        rearchived = False
+        if archiver is not None and not archiver.closed:
+            archiver.close()
+            self.enable_archiving(promoted.name, store=archiver.store)
+            rearchived = True
+        self._decommission(db_name)
+        self._record_ha(
+            "failover",
+            db_name,
+            f"promoted {promoted.name}; re-pointed {len(others)} standby(s)"
+            + ("; archiving continued" if rearchived else ""),
+        )
+        new_shipper.poll()
+        return promoted
+
+    def _decommission(self, name: str) -> None:
+        """Retire a crashed, failed-over primary: every subscription was
+        re-pointed already, so this only unhooks the corpse's metrics,
+        monitor series and pooled state, then forgets the database."""
+        db = self.databases.get(name)
+        if db is None:
+            return
+        for snap_name in [n for n, s in self.snapshots.items() if s.db is db]:
+            self.drop_snapshot(snap_name)
+        shipper = self._shippers.pop(name, None)
+        if shipper is not None:
+            shipper.remove_metrics()
+        self.snapshot_pool.purge_database(name)
+        self.version_store.purge(name)
+        del self.databases[name]
+        remove_database_metrics(self, name)
+        self.env.metrics.remove_prefix(f"shipper.{name}.")
+        self.env.metrics.remove_prefix(f"archive.{name}.")
+        self._purge_monitor(
+            f"log.{name}.",
+            f"retention.{name}.",
+            f"shipper.{name}.",
+            f"archive.{name}.",
+            f"repl.ship.~archive:{name}.",
+        )
 
     # ------------------------------------------------------------------
     # Archive tier (continuous log archiving + backup chains)
@@ -497,6 +719,9 @@ class Engine:
         if archiver is not None and not archiver.closed:
             archiver.poll()
             archiver.close()
+            # The detached subscription's recorded progress series would
+            # otherwise go stale and read as a ship stall.
+            self._purge_monitor(f"repl.ship.{archiver.name}.")
 
     def backup_database(self, db_name: str, *, full: bool = False):
         """``BACKUP DATABASE``: archive a backup chained onto the newest.
@@ -516,6 +741,8 @@ class Engine:
         with self.env.tracer.span(
             "backup.database", db=db_name, full=bool(full or not chain)
         ):
+            if self.chaos is not None:
+                self.chaos.hit("backup.page_copy", target=db_name)
             # The backup media here IS the archive store (put_backup
             # charges the archive device), so the generic media charge
             # is off.
@@ -562,6 +789,8 @@ class Engine:
                     suffix += 1
         self._check_name_free(new_name)
         with self.env.tracer.span("archive.restore", db=db_name, target=new_name):
+            if self.chaos is not None:
+                self.chaos.hit("restore.page_copy", target=db_name)
             return restore_from_archive(
                 self, archiver.store, db_name, self.resolve_as_of(as_of), new_name
             )
@@ -656,6 +885,8 @@ class Engine:
 
         best = None
         for replica in self.replicas_of(db_name):
+            if replica.is_faulted():
+                continue  # degrade: route around a standby stuck in apply
             if replica.applied_commit_lsn == NULL_LSN:
                 continue
             if replica.applied_wall <= wall and replica.lag_bytes() > 0:

@@ -121,6 +121,55 @@ class ReplicationError(ReproError):
     """
 
 
+class ReplicationFaultError(ReplicationError):
+    """A typed, resumable fault on the replication stream.
+
+    Wraps the raw stream-layer failures (truncated/torn frames, CRC
+    mismatches, out-of-order arrivals) at the receive boundary so callers
+    — and the shipper's retry policy — can distinguish a transient fault
+    (resend from :attr:`resume_lsn` and the stream heals) from a fatal
+    one (reseed required). ``resume_lsn`` is the receiver's durable
+    cursor at the moment of the fault: shipping MUST resume exactly
+    there, which is what makes retry safe against both skipped and
+    double-applied records.
+    """
+
+    def __init__(
+        self, message: str, *, resume_lsn: int, transient: bool = True
+    ) -> None:
+        super().__init__(message)
+        self.resume_lsn = resume_lsn
+        self.transient = transient
+
+
+class FaultInjectedError(ReproError):
+    """An error injected by the chaos layer (``repro.chaos``).
+
+    Carries the injection point, fault kind, and whether the fault is
+    transient (retry heals it) so the same retry/backoff machinery that
+    handles real stream faults handles injected ones identically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        point: str = "",
+        kind: str = "",
+        target: str = "",
+        transient: bool = True,
+    ) -> None:
+        super().__init__(message)
+        self.point = point
+        self.kind = kind
+        self.target = target
+        self.transient = transient
+
+
+class DatabaseUnavailableError(ReproError):
+    """The database is down (crashed primary awaiting failover)."""
+
+
 class BackupError(ReproError):
     """Backup/restore failure (missing log range, bad backup chain)."""
 

@@ -305,6 +305,29 @@ def builtin_rules(cfg) -> list[AlertRule]:
             doc="replica apply cursor trails the primary by too many seconds",
         ),
         AlertRule(
+            name="repl.ship_errors",
+            metric="repl.ship.*.consecutive_errors",
+            op=">",
+            threshold=float(cfg.ship_error_streak) - 1.0,
+            severity="warning",
+            subsystem="replication",
+            doc="a ship-stream subscription keeps failing (retrying under "
+            "backoff); the failure detector treats this as suspicion",
+        ),
+        AlertRule(
+            name="repl.ship_stall",
+            metric="repl.ship.*.progress_t",
+            kind="absence",
+            window_s=cfg.ship_stall_s,
+            severity="critical",
+            subsystem="replication",
+            guard_metric="repl.subscriptions",
+            guard_min=1.0,
+            doc="a ship-stream subscription has made no progress for the "
+            "stall window — its progress gauge went silent (crashed "
+            "primary, partition, or a stuck subscriber)",
+        ),
+        AlertRule(
             name="archive.cursor_lag",
             metric="archive.*.cursor_lag_bytes",
             threshold=float(cfg.archive_lag_bytes),

@@ -95,6 +95,14 @@ def install_engine_metrics(engine) -> None:
     registry = engine.env.metrics
     install_pool_metrics(registry, "pool.engine", engine.snapshot_pool)
     install_version_store_metrics(registry, engine.version_store)
+    registry.gauge(
+        "repl.subscriptions",
+        lambda: sum(
+            len(shipper.subscribers())
+            for shipper in engine._shippers.values()
+        ),
+        "ship-stream subscriptions engine-wide (guards the stall alert)",
+    )
 
 
 def install_database_metrics(engine, db) -> None:
@@ -178,6 +186,11 @@ def install_replica_metrics(engine, replica) -> None:
         return max(0.0, engine.env.clock.now() - replica.applied_wall)
 
     registry.gauge(f"{prefix}.apply_lag_s", apply_lag_s, "apply lag in seconds")
+    registry.gauge(
+        f"{prefix}.consecutive_apply_errors",
+        lambda: replica.consecutive_apply_errors,
+        "consecutive faulted apply attempts (routing skips a faulted standby)",
+    )
     install_pool_metrics(registry, f"pool.{replica.name}", replica.snapshot_pool)
 
 
@@ -195,7 +208,7 @@ def install_shipper_metrics(engine, shipper) -> None:
         registry,
         prefix,
         shipper.stats,
-        ("polls", "frames_shipped", "bytes_shipped", "resyncs"),
+        ("polls", "frames_shipped", "bytes_shipped", "resyncs", "send_errors", "retries"),
     )
     registry.gauge(
         f"{prefix}.max_lag_bytes",
@@ -203,6 +216,10 @@ def install_shipper_metrics(engine, shipper) -> None:
         "largest unshipped byte count across subscribers",
     )
     registry.gauge(f"{prefix}.subscribers", lambda: len(shipper.subscribers()))
+    # Per-subscriber health gauges (repl.ship.<subscriber>.*) are owned
+    # by the shipper itself: it registers/unregisters the progress gauge
+    # as subscriptions fail and recover.
+    shipper.bind_registry(registry)
 
 
 def install_archiver_metrics(engine, archiver) -> None:

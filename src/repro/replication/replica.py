@@ -41,7 +41,7 @@ from repro.core.split_lsn import checkpoint_chain, find_split_lsn
 from repro.engine.boot import BOOT_PAGE_ID
 from repro.engine.database import Database
 from repro.engine.recovery import analyze_log, undo_pass
-from repro.errors import ReplicationError
+from repro.errors import ReplicationError, ReplicationFaultError
 from repro.replication.stream import LogFrame
 from repro.wal.apply import RedoApplier
 from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
@@ -104,6 +104,13 @@ class Replica:
         #: chain lives in the log, which the standby already holds).
         self._newest_ckpt_lsn = NULL_LSN
         self.dropped = False
+        #: Consecutive faulted apply attempts (set by the engine's tick;
+        #: read offload routes away from a faulted standby).
+        self.consecutive_apply_errors = 0
+        #: Sim time before which the engine skips apply retries here.
+        self.apply_retry_s = 0.0
+        #: The last apply fault, as text.
+        self.last_apply_error: str | None = None
 
     # ------------------------------------------------------------------
     # Seeding (backup-seeded standbys; see the engine's archive tier)
@@ -152,12 +159,25 @@ class Replica:
         the shipper resynchronizes from :attr:`received_lsn`.
         """
         self._check_alive()
-        frame = LogFrame.decode(blob)
+        try:
+            frame = LogFrame.decode(blob)
+        except ReplicationFaultError:
+            raise
+        except ReplicationError as err:
+            # Torn/corrupted/short frame on the wire: typed as a
+            # transient stream fault carrying the exact resume cursor,
+            # so the shipper's retry resends this range and nothing else.
+            raise ReplicationFaultError(
+                f"replica {self.name!r} rejected a frame at "
+                f"{format_lsn(self.received_lsn)}: {err}",
+                resume_lsn=self.received_lsn,
+            ) from err
         if frame.start_lsn != self.received_lsn:
-            raise ReplicationError(
+            raise ReplicationFaultError(
                 f"replica {self.name!r} expected frame at "
                 f"{format_lsn(self.received_lsn)}, got "
-                f"{format_lsn(frame.start_lsn)}"
+                f"{format_lsn(frame.start_lsn)}",
+                resume_lsn=self.received_lsn,
             )
         ckpt = self.db.log.ingest(frame.start_lsn, frame.payload)
         if ckpt != NULL_LSN and ckpt > self._newest_ckpt_lsn:
@@ -193,7 +213,30 @@ class Replica:
         """Apply every received record whose delay has elapsed; returns
         the number of records redone."""
         self._check_alive()
-        return self._apply_range(self.eligible_lsn())
+        eligible = self.eligible_lsn()
+        chaos = getattr(self.db.env, "chaos", None)
+        if chaos is not None and eligible > self.applied_lsn:
+            chaos.hit("repl.apply", target=self.name)
+        return self._apply_range(eligible)
+
+    # -- apply fault state (the engine's tick drives retry/backoff) ----
+
+    def note_apply_fault(self, err, now: float, retry) -> None:
+        """Record a faulted apply attempt and schedule its retry."""
+        self.consecutive_apply_errors += 1
+        self.last_apply_error = f"{type(err).__name__}: {err}"
+        self.apply_retry_s = now + retry.delay(self.consecutive_apply_errors)
+
+    def note_apply_ok(self) -> None:
+        if self.consecutive_apply_errors:
+            self.consecutive_apply_errors = 0
+            self.last_apply_error = None
+            self.apply_retry_s = 0.0
+
+    def is_faulted(self) -> bool:
+        """Whether apply is currently failing (routing skips this
+        standby until a successful retry clears the streak)."""
+        return self.consecutive_apply_errors > 0
 
     def _apply_range(self, to_lsn: int) -> int:
         if to_lsn <= self.applied_lsn:

@@ -9,6 +9,21 @@ shipper that attaches an existing replica) continues from the replica's
 reported ``received_lsn`` — no state beyond the log itself is needed,
 which is the whole appeal of log-shipping replication.
 
+Shipping is fault-tolerant: a transient receive failure (CRC mismatch,
+injected partition, archiver flush crash — anything raising
+:class:`~repro.errors.ReplicationFaultError` or a transient
+:class:`~repro.errors.FaultInjectedError`) marks only that subscription
+failed and schedules a retry under an exponential-backoff
+:class:`~repro.chaos.retry.RetryPolicy`. The cursor is NOT advanced on
+failure and every successful receive re-reports the subscriber's durable
+``received_lsn``, so a retried stream can neither skip nor double-apply
+a record — resume is LSN-checked on both ends and CRC-checked per frame.
+Per-subscriber health is exported as ``repl.ship.<name>.*`` gauges: a
+``consecutive_errors`` count, and a ``progress_t`` gauge that is
+*unregistered* while the subscription is failing — its recorded series
+goes stale, which is exactly what the built-in ``repl.ship_stall``
+absence alert (and the failure detector on top) watches for.
+
 The shipper also registers a retention pin on the primary: the log below
 the slowest subscriber's cursor is not truncated out from under it (see
 :func:`repro.core.retention.enforce_retention`). A replica that detaches
@@ -25,7 +40,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ReplicationError
+from repro.chaos.retry import RetryPolicy
+from repro.errors import (
+    DatabaseUnavailableError,
+    FaultInjectedError,
+    ReplicationError,
+    ReplicationFaultError,
+)
 from repro.replication.stream import LogFrame
 from repro.wal.lsn import format_lsn
 
@@ -43,26 +64,53 @@ class ShipperStats:
     bytes_shipped: int = 0
     #: Cursor resyncs from a replica's reported position (reconnects).
     resyncs: int = 0
+    #: Transient per-subscriber send failures (each schedules a retry).
+    send_errors: int = 0
+    #: Successful sends that followed at least one failure.
+    retries: int = 0
 
 
 class _Subscription:
-    __slots__ = ("replica", "cursor")
+    __slots__ = (
+        "replica",
+        "cursor",
+        "consecutive_errors",
+        "next_retry_s",
+        "last_error",
+        "last_progress_s",
+    )
 
-    def __init__(self, replica, cursor: int) -> None:
+    def __init__(self, replica, cursor: int, now: float) -> None:
         self.replica = replica
         self.cursor = cursor
+        #: Consecutive failed ship attempts (0 = healthy).
+        self.consecutive_errors = 0
+        #: Sim time before which poll() skips this subscription (backoff).
+        self.next_retry_s = 0.0
+        #: The last failure, as text (surfaced via subscriber_errors()).
+        self.last_error: str | None = None
+        #: Sim time of the last successful ship attempt.
+        self.last_progress_s = now
 
 
 class LogShipper:
     """Streams one primary's committed, durable log to its replicas."""
 
-    def __init__(self, db, *, batch_bytes: int = DEFAULT_BATCH_BYTES) -> None:
+    def __init__(
+        self,
+        db,
+        *,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if batch_bytes < 1:
             raise ValueError("batch_bytes must be positive")
         self.db = db
         self.batch_bytes = batch_bytes
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = ShipperStats()
         self._subs: dict[str, _Subscription] = {}
+        self._registry = None
         db.add_retention_pin(self._retention_pin)
 
     # ------------------------------------------------------------------
@@ -84,13 +132,57 @@ class LogShipper:
                 f"but the primary log starts at "
                 f"{format_lsn(self.db.log.start_lsn)}; reseed the replica"
             )
-        self._subs[replica.name] = _Subscription(replica, cursor)
+        self._subs[replica.name] = _Subscription(
+            replica, cursor, self.db.env.clock.now()
+        )
+        self._install_sub_metrics(replica.name)
 
     def detach(self, name: str) -> None:
         self._subs.pop(name, None)
+        if self._registry is not None:
+            self._registry.remove_prefix(f"repl.ship.{name}.")
 
     def subscribers(self) -> list[str]:
         return list(self._subs)
+
+    def subscriber_errors(self) -> dict[str, int]:
+        """Consecutive ship failures per subscriber (0 = healthy) — the
+        failure detector's liveness read."""
+        return {
+            name: sub.consecutive_errors for name, sub in self._subs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Per-subscriber health metrics (repl.ship.<name>.*)
+    # ------------------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Export per-subscriber gauges into ``registry`` (the engine's
+        metric install path calls this once per shipper)."""
+        self._registry = registry
+        for name in self._subs:
+            self._install_sub_metrics(name)
+
+    def _install_sub_metrics(self, name: str) -> None:
+        if self._registry is None:
+            return
+        sub = self._subs[name]
+        self._registry.gauge(
+            f"repl.ship.{name}.consecutive_errors",
+            lambda: sub.consecutive_errors,
+            "consecutive failed ship attempts to this subscriber",
+        )
+        self._install_progress_gauge(name, sub)
+
+    def _install_progress_gauge(self, name: str, sub: _Subscription) -> None:
+        if self._registry is None:
+            return
+        self._registry.gauge(
+            f"repl.ship.{name}.progress_t",
+            lambda: sub.last_progress_s,
+            "sim time of the last successful ship attempt; unregistered "
+            "while the subscription is failing (absence = stall signal)",
+        )
 
     # ------------------------------------------------------------------
     # Shipping
@@ -102,42 +194,101 @@ class LogShipper:
         Returns the total payload bytes shipped. Only durable log is ever
         shipped — the volatile tail can still vanish in a crash, and a
         standby must never hold records its primary can lose.
+
+        A transient fault on one subscription (typed stream fault or an
+        injected one) is contained to it: the error state is recorded,
+        the retry is scheduled, and every other subscriber still ships.
+        Fatal faults (reseed-required cursor divergence, archiver races)
+        propagate.
         """
         self.stats.polls += 1
         log = self.db.log
-        target = log.durable_lsn
         now = self.db.env.clock.now()
+        chaos = getattr(self.db.env, "chaos", None)
         total = 0
         with self.db.env.tracer.span("repl.ship.poll", db=self.db.name) as span:
-            for sub in self._subs.values():
-                reported = sub.replica.received_lsn
-                if reported != sub.cursor:
-                    # The replica's position moved under us (restart, manual
-                    # reseed): trust the replica, it owns the durable truth.
-                    if reported < log.start_lsn:
-                        raise ReplicationError(
-                            f"replica {sub.replica.name!r} resumes at "
-                            f"{format_lsn(reported)}, below the primary's "
-                            f"retained log ({format_lsn(log.start_lsn)})"
-                        )
-                    sub.cursor = reported
-                    self.stats.resyncs += 1
-                while sub.cursor < target:
-                    end = log.record_aligned_end(
-                        sub.cursor, self.batch_bytes, target
-                    )
-                    if end <= sub.cursor:
-                        break
-                    frame = LogFrame(
-                        sub.cursor, log.read_bytes(sub.cursor, end), now
-                    )
-                    sub.replica.receive(frame.encode())
-                    sub.cursor = end
-                    self.stats.frames_shipped += 1
-                    self.stats.bytes_shipped += len(frame.payload)
-                    total += len(frame.payload)
+            if getattr(self.db, "crashed", False):
+                down = DatabaseUnavailableError(
+                    f"primary {self.db.name!r} is down"
+                )
+                for sub in self._subs.values():
+                    if now >= sub.next_retry_s:
+                        self._note_failure(sub, down, now)
+                span.set(bytes=0)
+                return 0
+            target = log.durable_lsn
+            for sub in list(self._subs.values()):
+                if now < sub.next_retry_s:
+                    continue  # still backing off from the last failure
+                try:
+                    if chaos is not None:
+                        chaos.hit("repl.ship.poll", target=self.db.name)
+                    total += self._ship_to(sub, log, target, now, chaos)
+                except (ReplicationFaultError, FaultInjectedError) as err:
+                    if not err.transient:
+                        raise
+                    self._note_failure(sub, err, now)
+                else:
+                    self._note_progress(sub, now)
             span.set(bytes=total)
         return total
+
+    def _ship_to(self, sub, log, target: int, now: float, chaos) -> int:
+        """Ship everything pending to one subscriber; returns bytes."""
+        reported = sub.replica.received_lsn
+        if reported != sub.cursor:
+            # The replica's position moved under us (restart, manual
+            # reseed, a retried frame that half-landed): trust the
+            # replica, it owns the durable truth.
+            if reported < log.start_lsn:
+                raise ReplicationError(
+                    f"replica {sub.replica.name!r} resumes at "
+                    f"{format_lsn(reported)}, below the primary's "
+                    f"retained log ({format_lsn(log.start_lsn)})"
+                )
+            sub.cursor = reported
+            self.stats.resyncs += 1
+        shipped = 0
+        while sub.cursor < target:
+            end = log.record_aligned_end(sub.cursor, self.batch_bytes, target)
+            if end <= sub.cursor:
+                break
+            payload = log.read_bytes(sub.cursor, end)
+            blob = LogFrame(sub.cursor, payload, now).encode()
+            if chaos is not None:
+                chaos.hit("repl.ship.send", target=sub.replica.name)
+                blob = chaos.hit(
+                    "repl.stream.frame", target=sub.replica.name, payload=blob
+                )
+            sub.replica.receive(blob)
+            # Only now is the frame durably landed; a failure above left
+            # the cursor put, so the retry resends the exact same range.
+            sub.cursor = end
+            self.stats.frames_shipped += 1
+            self.stats.bytes_shipped += len(payload)
+            shipped += len(payload)
+        return shipped
+
+    def _note_failure(self, sub: _Subscription, err, now: float) -> None:
+        sub.consecutive_errors += 1
+        sub.last_error = f"{type(err).__name__}: {err}"
+        sub.next_retry_s = now + self.retry.delay(sub.consecutive_errors)
+        self.stats.send_errors += 1
+        if self._registry is not None:
+            # Stop reporting progress: the recorded series goes stale and
+            # the repl.ship_stall absence rule picks the outage up.
+            self._registry.remove(
+                f"repl.ship.{sub.replica.name}.progress_t"
+            )
+
+    def _note_progress(self, sub: _Subscription, now: float) -> None:
+        if sub.consecutive_errors:
+            self.stats.retries += 1
+            sub.consecutive_errors = 0
+            sub.last_error = None
+            sub.next_retry_s = 0.0
+            self._install_progress_gauge(sub.replica.name, sub)
+        sub.last_progress_s = now
 
     def max_lag_bytes(self) -> int:
         """Largest unshipped byte count across subscribers."""
@@ -145,6 +296,13 @@ class LogShipper:
         if not self._subs:
             return 0
         return max(target - sub.cursor for sub in self._subs.values())
+
+    def remove_metrics(self) -> None:
+        """Unregister every per-subscriber gauge (shipper teardown)."""
+        if self._registry is None:
+            return
+        for name in self._subs:
+            self._registry.remove_prefix(f"repl.ship.{name}.")
 
     def __repr__(self) -> str:
         return (

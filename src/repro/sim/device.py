@@ -103,6 +103,10 @@ class SimDevice:
         self.stats = stats if stats is not None else IoStats()
         self.busy_seconds = 0.0
         self.ops = 0
+        #: Optional chaos injector (engine.enable_chaos pokes this in).
+        #: Device points inject *stalls only* — degraded media slows I/O
+        #: down; it does not raise into the middle of the page layer.
+        self.chaos = None
 
     def _charge(self, seconds: float) -> float:
         self.clock.advance(seconds)
@@ -110,20 +114,28 @@ class SimDevice:
         self.ops += 1
         return seconds
 
+    def _inject(self, op: str) -> None:
+        if self.chaos is not None:
+            self.chaos.hit(f"device.{op}", target=self.profile.name)
+
     def read_random(self, nbytes: int) -> float:
         """Charge one random read; returns seconds spent."""
+        self._inject("read")
         return self._charge(self.profile.rand_read_time(nbytes))
 
     def write_random(self, nbytes: int) -> float:
         """Charge one random write; returns seconds spent."""
+        self._inject("write")
         return self._charge(self.profile.rand_write_time(nbytes))
 
     def read_seq(self, nbytes: int) -> float:
         """Charge one sequential (streaming) read; returns seconds spent."""
+        self._inject("read")
         return self._charge(self.profile.seq_read_time(nbytes))
 
     def write_seq(self, nbytes: int) -> float:
         """Charge one sequential (streaming) write; returns seconds spent."""
+        self._inject("write")
         return self._charge(self.profile.seq_write_time(nbytes))
 
     def write_seq_async(self, nbytes: int) -> float:
@@ -137,6 +149,7 @@ class SimDevice:
         sustainable" — a claim checkable here as busy_seconds staying
         below wall time.
         """
+        self._inject("write")
         self.busy_seconds += nbytes / self.profile.seq_write_bw
         return self._charge(self.profile.seq_latency_s)
 

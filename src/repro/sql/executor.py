@@ -641,6 +641,23 @@ class Session:
                 rows,
                 rowcount=len(rows),
             )
+        if stmt.what == "FAULTS":
+            rows = [
+                (
+                    row["seq"],
+                    row["t"],
+                    row["point"],
+                    row["kind"],
+                    row["target"],
+                    row["detail"],
+                )
+                for row in self.engine.fault_events()
+            ]
+            return Result(
+                ("seq", "t", "point", "kind", "target", "detail"),
+                rows,
+                rowcount=len(rows),
+            )
         if stmt.what == "HISTORY":
             history = self.engine.monitor_history(stmt.like)
             rows = [

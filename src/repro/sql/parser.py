@@ -384,6 +384,8 @@ class Parser:
                 return Show("HEALTH")
             if self.accept_word("ALERTS"):
                 return Show("ALERTS")
+            if self.accept_word("FAULTS"):
+                return Show("FAULTS")
             if self.accept_word("HISTORY"):
                 like = None
                 if self.peek().ttype is TokenType.STRING:
@@ -397,7 +399,7 @@ class Parser:
                 return Show("SLOW QUERIES")
             raise self.error(
                 "expected TABLES, SNAPSHOTS, METRICS, HEALTH, ALERTS, "
-                "HISTORY or SLOW QUERIES"
+                "FAULTS, HISTORY or SLOW QUERIES"
             )
         raise self.error(f"unsupported statement {word}")
 

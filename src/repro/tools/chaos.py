@@ -1,0 +1,184 @@
+"""Chaos demo CLI: ``python -m repro.tools.chaos``.
+
+Runs a seeded kill-the-primary drill: a small TPC-C workload with two
+standbys and the replication pump active, a couple of injected transient
+send faults (retried and healed), then a scheduled whole-primary crash.
+The failure detector suspects the primary on the built-in ship-health
+alerts, confirms it down, and the coordinator promotes the most-caught-up
+survivor — the CLI prints ``SHOW HEALTH`` / ``SHOW ALERTS`` before and
+after, the deterministic ``SHOW FAULTS`` schedule, and the HA timeline.
+
+Because the injector, the workload, and every clock are seeded and
+simulated, two invocations print byte-identical output — which is
+exactly what CI's ``chaos`` job checks with ``--json``.
+
+Usage::
+
+    python -m repro.tools.chaos               # text drill report
+    python -m repro.tools.chaos --json        # canonical JSON document
+    python -m repro.tools.chaos --seed 7      # a different schedule
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.chaos import FaultRule
+from repro.config import SimEnv
+from repro.engine.engine import Engine
+from repro.workload import TpccDriver, TpccScale, load_tpcc
+
+DEMO_SCALE = TpccScale(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=6,
+    items=30,
+)
+
+#: Tables audited across the crash: committed ⇒ durable ⇒ survives.
+AUDIT_TABLES = ("orders", "order_line", "history")
+
+
+def _rows(db) -> dict[str, int]:
+    return {t: sum(1 for _ in db.scan(t)) for t in AUDIT_TABLES}
+
+
+def run_failover_drill(seed: int = 0) -> tuple[Engine, dict]:
+    """The drill, returning the engine and its canonical document."""
+    env = SimEnv.for_tests()
+    engine = Engine(env)
+    db = engine.create_database("shop")
+    load_tpcc(db, DEMO_SCALE, seed=seed)
+    driver = TpccDriver(db, DEMO_SCALE, seed=seed)
+    engine.add_replica("shop", "sa")
+    engine.add_replica("shop", "sb")
+    engine.enable_read_offload()
+    engine.enable_auto_failover(confirm_s=2.0)
+    chaos = engine.enable_chaos(
+        seed=seed,
+        rules=[
+            # A little pre-crash weather: two send faults, retried away.
+            FaultRule(
+                point="repl.ship.send", kind="transient",
+                target="sa", max_hits=2,
+            ),
+        ],
+    )
+    driver.pump = engine.replication_tick
+
+    # The zero-cost clock only moves explicitly: advance it between
+    # rounds so retry backoff, monitor samples and the detector's
+    # confirmation window all get wall-time to work with.
+    for _ in range(3):
+        driver.run_transactions(10)
+        env.clock.advance(0.5)
+        engine.replication_tick()
+
+    health_before = engine.health()
+    alerts_before = [list(r) for r in engine.sql("SHOW ALERTS").rows]
+    rows_pre = _rows(db)
+
+    chaos.schedule_crash("shop", env.clock.now() + 0.5)
+    for _ in range(12):
+        env.clock.advance(0.5)
+        engine.replication_tick()
+
+    promoted_name = engine.ha.completed.get("shop", "")
+    promoted = engine.database(promoted_name) if promoted_name else None
+    rows_post = _rows(promoted) if promoted is not None else {}
+    document = {
+        "seed": seed,
+        "promoted": promoted_name,
+        "databases": sorted(engine.databases),
+        "replicas": sorted(engine.replicas),
+        "health_before": health_before,
+        "health_after": engine.health(),
+        "alerts_before": alerts_before,
+        "alerts_after": [list(r) for r in engine.sql("SHOW ALERTS").rows],
+        "faults": engine.fault_events(),
+        "ha": engine.ha_events,
+        "alert_events": engine.alert_events(),
+        "rows_pre_crash": rows_pre,
+        "rows_post_failover": rows_post,
+        "rows_lost": sum(
+            rows_pre[t] - rows_post.get(t, 0) for t in AUDIT_TABLES
+        ),
+        "offload_routed": getattr(
+            engine.routing_replica(promoted_name) if promoted_name else None,
+            "name",
+            None,
+        ),
+    }
+    return engine, document
+
+
+def _health_lines(doc: dict) -> list[str]:
+    lines = [f"overall: {doc['overall']}"]
+    for subsystem, entry in sorted(doc.get("subsystems", {}).items()):
+        lines.append(f"  {subsystem}: {entry['verdict']}")
+    return lines
+
+
+def drill_text(document: dict) -> list[str]:
+    lines = ["== before crash =="]
+    lines += _health_lines(document["health_before"])
+    if document["alerts_before"]:
+        lines += [f"  alert: {row}" for row in document["alerts_before"]]
+    else:
+        lines.append("  (no alert conditions)")
+    lines.append("== fault schedule (SHOW FAULTS) ==")
+    for e in document["faults"]:
+        lines.append(
+            f"[t={e['t']:.6f}] {e['point']} {e['kind']} "
+            f"target={e['target']}: {e['detail']}"
+        )
+    lines.append("== HA timeline ==")
+    for e in document["ha"]:
+        lines.append(f"[t={e['t']:.6f}] {e['event']} {e['db']}: {e['detail']}")
+    lines.append("== after failover ==")
+    lines.append(f"promoted: {document['promoted'] or '(none)'}")
+    lines.append(f"databases: {', '.join(document['databases'])}")
+    lines.append(
+        f"read offload routed to: {document['offload_routed'] or '(primary)'}"
+    )
+    lines += _health_lines(document["health_after"])
+    for row in document["alerts_after"]:
+        lines.append(f"  alert: {row}")
+    lines.append(
+        f"committed rows across the crash: pre={document['rows_pre_crash']} "
+        f"post={document['rows_post_failover']} "
+        f"lost={document['rows_lost']}"
+    )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Run a seeded kill-the-primary failover drill.",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON document instead of text "
+        "(byte-identical for one seed; CI diffs two runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    _engine, document = run_failover_drill(seed=args.seed)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for line in drill_text(document):
+        print(line)
+    if document["rows_lost"] or not document["promoted"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin CLI shim
+    import sys
+
+    sys.exit(main())

@@ -32,6 +32,7 @@ class TestFramework:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         }
 
     def test_syntax_error_reported_as_rl000(self):
@@ -238,6 +239,71 @@ class TestObsInstrumentation:
         assert check(src, "src/repro/sim/clock.py", {"RL006"}) == []
 
 
+class TestFaultHandlingDiscipline:
+    def test_silent_broad_swallow_flagged(self):
+        src = (
+            "def poll(self):\n"
+            "    try:\n"
+            "        self.ship()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        findings = check(src, "src/repro/replication/x.py", {"RL007"})
+        assert rules_of(findings) == ["RL007"]
+        assert "ReplicationFaultError" in findings[0].message
+
+    def test_bare_except_swallow_flagged(self):
+        src = (
+            "def flush(self):\n"
+            "    try:\n"
+            "        self.store()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        findings = check(src, "src/repro/archive/x.py", {"RL007"})
+        assert rules_of(findings) == ["RL007"]
+
+    def test_wrap_typed_clean(self):
+        src = (
+            "def receive(self, blob):\n"
+            "    try:\n"
+            "        return decode(blob)\n"
+            "    except Exception as err:\n"
+            "        raise ReplicationFaultError(str(err), resume_lsn=0)\n"
+        )
+        assert check(src, "src/repro/replication/x.py", {"RL007"}) == []
+
+    def test_recording_the_fault_clean(self):
+        src = (
+            "def poll(self):\n"
+            "    try:\n"
+            "        self.ship()\n"
+            "    except Exception as err:\n"
+            "        self._note_failure(sub, err, now)\n"
+        )
+        assert check(src, "src/repro/replication/x.py", {"RL007"}) == []
+
+    def test_narrow_handler_out_of_scope(self):
+        src = (
+            "def poll(self):\n"
+            "    try:\n"
+            "        self.ship()\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+        assert check(src, "src/repro/replication/x.py", {"RL007"}) == []
+
+    def test_outside_replication_scope_clean(self):
+        src = (
+            "def anywhere():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert check(src, "src/repro/engine/x.py", {"RL007"}) == []
+
+
 class TestSuppressions:
     SRC = "import time\nx = time.time()  # reprolint: ignore[RL003]\n"
 
@@ -293,7 +359,9 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in (
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        ):
             assert rule_id in out
 
 
