@@ -35,9 +35,12 @@ class RuleConfig:
 #: Engine-shared mutable structures (RL005). ``attr`` names state whose
 #: mutation is only legal inside one of the ``owners`` modules (matched
 #: as a path suffix) or under a declared guard (``with x.latch:`` /
-#: ``with x._latch:`` / ``.lock``). This is the lint-side contract for
-#: the concurrent-engine latching work: when a structure grows a latch,
-#: cross-module mutation sites must hold it.
+#: ``with x._latch:`` / ``.lock``). Entries with ``"latch": True`` are
+#: **strict**: the structure has grown its latch, so every mutation —
+#: owner module included — must sit lexically under the guard (the sole
+#: exception is first assignment on ``self`` inside ``__init__`` /
+#: ``__new__``, before the object is shared). This is the lint-side
+#: contract for the concurrent-engine latching work (ROADMAP item 1).
 SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     # Retention pins: pooled splits, shipper cursors, archiver cursors.
     {"attr": "retention_pins", "owners": ("repro/engine/database.py",)},
@@ -61,17 +64,21 @@ SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     {
         "attr": "_frames",
         "owners": ("repro/storage/buffer.py", "repro/core/asof.py"),
+        "latch": True,
     },
     # The log tail: bytes, durable boundary, truncation point, block
     # cache, commit tracker.
-    {"attr": "_data", "owners": ("repro/wal/log_manager.py",)},
-    {"attr": "_durable_end", "owners": ("repro/wal/log_manager.py",)},
-    {"attr": "_truncated_before", "owners": ("repro/wal/log_manager.py",)},
-    {"attr": "_last_commit_lsn", "owners": ("repro/wal/log_manager.py",)},
+    {"attr": "_data", "owners": ("repro/wal/log_manager.py",), "latch": True},
+    {"attr": "_durable_end", "owners": ("repro/wal/log_manager.py",), "latch": True},
+    {"attr": "_truncated_before", "owners": ("repro/wal/log_manager.py",), "latch": True},
+    {"attr": "_last_commit_lsn", "owners": ("repro/wal/log_manager.py",), "latch": True},
+    # Lock-manager table and declared waits (one per database).
+    {"attr": "_table", "owners": ("repro/txn/locks.py",), "latch": True},
+    {"attr": "_waits", "owners": ("repro/txn/locks.py",), "latch": True},
     # Snapshot pool entries and the version store's interval map.
-    {"attr": "_entries", "owners": ("repro/core/snapshot_pool.py",)},
-    {"attr": "_orphans", "owners": ("repro/core/snapshot_pool.py",)},
-    {"attr": "_versions", "owners": ("repro/core/version_store.py",)},
+    {"attr": "_entries", "owners": ("repro/core/snapshot_pool.py",), "latch": True},
+    {"attr": "_orphans", "owners": ("repro/core/snapshot_pool.py",), "latch": True},
+    {"attr": "_versions", "owners": ("repro/core/version_store.py",), "latch": True},
     # Shipper subscriptions and the archive store's segment/backup maps.
     {"attr": "_subs", "owners": ("repro/replication/shipper.py",)},
     {"attr": "_segments", "owners": ("repro/archive/store.py",)},
@@ -79,14 +86,14 @@ SHARED_STATE_REGISTRY: tuple[dict, ...] = (
     # Observability: the metrics instrument table and the tracer's span
     # stack — engine code holds instrument handles and Span objects, it
     # never mutates the tables directly.
-    {"attr": "_instruments", "owners": ("repro/obs/registry.py",)},
-    {"attr": "_span_stack", "owners": ("repro/obs/tracer.py",)},
+    {"attr": "_instruments", "owners": ("repro/obs/registry.py",), "latch": True},
+    {"attr": "_span_stack", "owners": ("repro/obs/tracer.py",), "latch": True},
     # Monitoring: recorded series, alert condition states, and the
     # slow-query ring — read through the monitor/engine surfaces,
     # purged through remove_prefix on drop.
-    {"attr": "_series", "owners": ("repro/obs/timeseries.py",)},
-    {"attr": "_conditions", "owners": ("repro/obs/alerts.py",)},
-    {"attr": "_slow_entries", "owners": ("repro/obs/slowlog.py",)},
+    {"attr": "_series", "owners": ("repro/obs/timeseries.py",), "latch": True},
+    {"attr": "_conditions", "owners": ("repro/obs/alerts.py",), "latch": True},
+    {"attr": "_slow_entries", "owners": ("repro/obs/slowlog.py",), "latch": True},
     # Chaos: the armed fault schedule and its deterministic event log
     # live in the injector; HA detection state in the detector; the HA
     # timeline is appended only through Engine._record_ha.

@@ -4,17 +4,24 @@ The engine shares mutable structures across every session and standby:
 the snapshot pool, the page version store, buffer-pool frames, the log
 tail, retention pins, the archive's segment maps. Today the engine is
 single-threaded; ROADMAP item 1 puts latches around these structures,
-and this rule is the lint-side half of that contract: a registered
+and this rule is the lint-side half of that contract. A registered
 shared attribute may be mutated only
 
 1. inside its owning module (the class's own methods), or
 2. under a declared guard — lexically within ``with x.latch:`` /
    ``with x.lock:`` (or their underscore forms).
 
+Entries flagged ``"latch": True`` are **strict**: the structure has its
+latch now, so rule 1 no longer applies — every mutation, owner module
+included, must sit lexically under the guard. The one exemption is the
+constructor (``__init__`` / ``__new__`` assigning on ``self``): the
+object is not yet reachable by other sessions there, and demanding a
+self-latch before the latch attribute exists would be circular.
+
 Everything else must go through a public method of the owner, which is
-exactly the surface the latching refactor will serialize. The registry
-lives in :data:`repro.analysis.config.SHARED_STATE_REGISTRY`; grow it
-there as structures become shared.
+exactly the surface the latching refactor serializes. The registry
+lives in :data:`repro.analysis.config.SHARED_STATE_REGISTRY`; flip an
+entry to strict as its structure grows a latch.
 """
 
 from __future__ import annotations
@@ -69,6 +76,11 @@ class SharedStateDiscipline(Rule):
             entry["attr"]: entry["owners"]
             for entry in options.get("shared_state", ())
         }
+        strict = frozenset(
+            entry["attr"]
+            for entry in options.get("shared_state", ())
+            if entry.get("latch")
+        )
         method_owners = {
             entry["method"]: entry["owners"]
             for entry in options.get("shared_methods", ())
@@ -77,14 +89,22 @@ class SharedStateDiscipline(Rule):
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
-                    self._check_target(ctx, node, target, attr_owners, guards)
+                    self._check_target(
+                        ctx, node, target, attr_owners, strict, guards
+                    )
             elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                self._check_target(ctx, node, node.target, attr_owners, guards)
+                self._check_target(
+                    ctx, node, node.target, attr_owners, strict, guards
+                )
             elif isinstance(node, ast.Delete):
                 for target in node.targets:
-                    self._check_target(ctx, node, target, attr_owners, guards)
+                    self._check_target(
+                        ctx, node, target, attr_owners, strict, guards
+                    )
             elif isinstance(node, ast.Call):
-                self._check_call(ctx, node, attr_owners, method_owners, guards)
+                self._check_call(
+                    ctx, node, attr_owners, strict, method_owners, guards
+                )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -115,6 +135,19 @@ class SharedStateDiscipline(Rule):
                         return True
         return False
 
+    def _in_ctor_on_self(self, node: ast.AST, attr: ast.Attribute) -> bool:
+        """Is this a ``self.attr = ...`` inside ``__init__``/``__new__``?
+
+        Constructor assignments predate sharing (no other session can
+        reach the object yet), so strict entries exempt them.
+        """
+        if dotted_name(attr.value) != "self":
+            return False
+        for anc in ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc.name in ("__init__", "__new__")
+        return False
+
     def _flag(self, ctx, node, attr: ast.Attribute, owners, what: str) -> None:
         receiver = _receiver_repr(attr.value)
         owner_list = ", ".join(owners)
@@ -126,20 +159,42 @@ class SharedStateDiscipline(Rule):
             f"go through a public method of the owner",
         )
 
+    def _flag_strict(
+        self, ctx, node, attr: ast.Attribute, what: str
+    ) -> None:
+        receiver = _receiver_repr(attr.value)
+        self.report(
+            ctx,
+            node,
+            f"{what} of latched shared state {receiver}.{attr.attr!s} "
+            f"outside a declared guard; hold the structure's latch "
+            f"(with x.latch:) around the mutation",
+        )
+
     # ------------------------------------------------------------------
     # Checks
     # ------------------------------------------------------------------
 
-    def _check_target(self, ctx, node, target, attr_owners, guards) -> None:
+    def _check_target(
+        self, ctx, node, target, attr_owners, strict, guards
+    ) -> None:
         attr = self._shared_attr(target, attr_owners)
         if attr is None:
             return
         owners = attr_owners[attr.attr]
-        if _owned_here(ctx.relpath, owners) or self._under_guard(node, guards):
+        if self._under_guard(node, guards):
+            return
+        if attr.attr in strict:
+            if not self._in_ctor_on_self(node, attr):
+                self._flag_strict(ctx, node, attr, "mutation")
+            return
+        if _owned_here(ctx.relpath, owners):
             return
         self._flag(ctx, node, attr, owners, "mutation")
 
-    def _check_call(self, ctx, node, attr_owners, method_owners, guards) -> None:
+    def _check_call(
+        self, ctx, node, attr_owners, strict, method_owners, guards
+    ) -> None:
         func = node.func
         if not isinstance(func, ast.Attribute):
             return
@@ -150,9 +205,12 @@ class SharedStateDiscipline(Rule):
             and func.value.attr in attr_owners
         ):
             owners = attr_owners[func.value.attr]
-            if not _owned_here(ctx.relpath, owners) and not self._under_guard(
-                node, guards
-            ):
+            if self._under_guard(node, guards):
+                return
+            if func.value.attr in strict:
+                self._flag_strict(ctx, node, func.value, "mutating call")
+                return
+            if not _owned_here(ctx.relpath, owners):
                 self._flag(ctx, node, func.value, owners, "mutating call")
             return
         # x._private_method(...) on a registered shared structure.

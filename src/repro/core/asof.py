@@ -41,6 +41,7 @@ from repro.catalog.catalog import (
 from repro.core.page_undo import prepare_page_version
 from repro.core.split_lsn import checkpoint_chain, find_split_lsn
 from repro.engine.recovery import analyze_log
+from repro.latch import Latch
 from repro.errors import (
     CatalogError,
     LogTruncatedError,
@@ -90,7 +91,8 @@ class _SnapshotGuard:
     def __init__(self, snap: "AsOfSnapshot", frame: Frame) -> None:
         self._snap = snap
         self.frame = frame
-        frame.pin_count += 1
+        with snap.latch:
+            frame.pin_count += 1
 
     @property
     def page(self) -> Page:
@@ -107,10 +109,13 @@ class _SnapshotGuard:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.frame.pin_count -= 1
-        if self.frame.dirty:
-            self._snap.sparse.write(self.frame.page_id, bytes(self.frame.page.data))
-            self.frame.dirty = False
+        with self._snap.latch:
+            self.frame.pin_count -= 1
+            if self.frame.dirty:
+                self._snap.sparse.write(
+                    self.frame.page_id, bytes(self.frame.page.data)
+                )
+                self.frame.dirty = False
 
 
 class SnapshotTable:
@@ -165,6 +170,10 @@ class AsOfSnapshot:
         self.db = db
         self.name = name
         self.split_lsn = split_lsn
+        #: Serializes the frame cache, sparse file, table/tree caches and
+        #: pending-undo state: pooled snapshots are leased by many
+        #: sessions at once (refcount > 1).
+        self.latch = Latch(f"asof:{name}")
         self.env = db.env
         self.log = db.log
         self.sparse = SparseFile(
@@ -316,28 +325,33 @@ class AsOfSnapshot:
         version store → primary + physical undo (published to the store,
         cached back into the sparse file).
         """
-        self._check_alive()
-        frame = self._frames.get(page_id)
-        if frame is not None:
+        with self.latch:
+            self._check_alive()
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                return _SnapshotGuard(self, frame)
+            if page_id in self.sparse:
+                data = self.sparse.read(page_id)
+            elif create or page_id >= _VIRTUAL_PAGE_BASE:
+                data = bytearray(self.db.config.page_size)
+            else:
+                data = self._prepare_page(page_id)
+                self.sparse.write(page_id, bytes(data))
+            frame = Frame(Page(data), page_id)
+            self._frames[page_id] = frame
+            # Keep the frame cache bounded; sparse is the durable tier.
+            if len(self._frames) > 256:
+                for pid in list(self._frames):
+                    candidate = self._frames[pid]
+                    if (
+                        candidate.pin_count == 0
+                        and not candidate.dirty
+                        and pid != page_id
+                    ):
+                        del self._frames[pid]
+                    if len(self._frames) <= 128:
+                        break
             return _SnapshotGuard(self, frame)
-        if page_id in self.sparse:
-            data = self.sparse.read(page_id)
-        elif create or page_id >= _VIRTUAL_PAGE_BASE:
-            data = bytearray(self.db.config.page_size)
-        else:
-            data = self._prepare_page(page_id)
-            self.sparse.write(page_id, bytes(data))
-        frame = Frame(Page(data), page_id)
-        self._frames[page_id] = frame
-        # Keep the frame cache bounded; sparse is the durable tier.
-        if len(self._frames) > 256:
-            for pid in list(self._frames):
-                candidate = self._frames[pid]
-                if candidate.pin_count == 0 and not candidate.dirty and pid != page_id:
-                    del self._frames[pid]
-                if len(self._frames) <= 128:
-                    break
-        return _SnapshotGuard(self, frame)
 
     def _prepare_page(self, page_id: int) -> bytearray:
         """Materialize the page image as of the SplitLSN.
@@ -399,6 +413,10 @@ class AsOfSnapshot:
         "background" pass to completion); otherwise only the given ones
         (used when a query blocks on their locks).
         """
+        with self.latch:
+            return self._run_background_undo_locked(txn_ids)
+
+    def _run_background_undo_locked(self, txn_ids=None) -> int:
         if txn_ids is None:
             txn_ids = list(self._pending_undo)
         undo = LogicalUndo(self)
@@ -422,17 +440,18 @@ class AsOfSnapshot:
         undo first, so queries only ever see committed-as-of-split data."""
         if not self._pending_undo:
             return
-        conflicting = [
-            txn_id
-            for txn_id, keys in self._pending_locks.items()
-            if any(
-                obj == object_id and (key_bytes is None or kb == key_bytes)
-                for obj, kb in keys
-            )
-        ]
-        if conflicting:
-            self.env.stats.lock_waits += len(conflicting)
-            self.run_background_undo(conflicting)
+        with self.latch:
+            conflicting = [
+                txn_id
+                for txn_id, keys in self._pending_locks.items()
+                if any(
+                    obj == object_id and (key_bytes is None or kb == key_bytes)
+                    for obj, kb in keys
+                )
+            ]
+            if conflicting:
+                self.env.stats.lock_waits += len(conflicting)
+                self.run_background_undo(conflicting)
 
     # ------------------------------------------------------------------
     # Undo-context protocol (consumed by LogicalUndo)
@@ -443,21 +462,22 @@ class AsOfSnapshot:
             return self.catalog.sys_objects
         if object_id == SYS_COLUMNS_ID:
             return self.catalog.sys_columns
-        tree = self._tree_cache.get(object_id)
-        if tree is not None:
+        with self.latch:
+            tree = self._tree_cache.get(object_id)
+            if tree is not None:
+                return tree
+            info = self.catalog.get_by_id(object_id)
+            if info is None or info.is_heap:
+                return None
+            schema = self.catalog.load_schema(info)
+            tree = BTree(
+                object_id=object_id,
+                root_page_id=info.root_page,
+                schema=schema,
+                services=self.services,
+            )
+            self._tree_cache[object_id] = tree
             return tree
-        info = self.catalog.get_by_id(object_id)
-        if info is None or info.is_heap:
-            return None
-        schema = self.catalog.load_schema(info)
-        tree = BTree(
-            object_id=object_id,
-            root_page_id=info.root_page,
-            schema=schema,
-            services=self.services,
-        )
-        self._tree_cache[object_id] = tree
-        return tree
 
     # ------------------------------------------------------------------
     # Reader protocol
@@ -469,17 +489,18 @@ class AsOfSnapshot:
 
     def table(self, name: str) -> SnapshotTable:
         self._check_alive()
-        cached = self._table_cache.get(name)
-        if cached is not None:
-            return cached
-        # Catalog reads respect pending DDL undo.
-        self.ensure_readable(SYS_OBJECTS_ID)
-        self.ensure_readable(SYS_COLUMNS_ID)
-        info = self.catalog.require(name)
-        schema = self.catalog.load_schema(info)
-        handle = SnapshotTable(self, info, schema)
-        self._table_cache[name] = handle
-        return handle
+        with self.latch:
+            cached = self._table_cache.get(name)
+            if cached is not None:
+                return cached
+            # Catalog reads respect pending DDL undo.
+            self.ensure_readable(SYS_OBJECTS_ID)
+            self.ensure_readable(SYS_COLUMNS_ID)
+            info = self.catalog.require(name)
+            schema = self.catalog.load_schema(info)
+            handle = SnapshotTable(self, info, schema)
+            self._table_cache[name] = handle
+            return handle
 
     def table_exists(self, name: str) -> bool:
         self._check_alive()
@@ -504,15 +525,17 @@ class AsOfSnapshot:
 
     def side_file_bytes(self) -> int:
         """Sparse-file space consumed (the paper's space-efficiency metric)."""
-        return self.sparse.bytes_used()
+        with self.latch:
+            return self.sparse.bytes_used()
 
     def drop(self) -> None:
         """Discard the snapshot and its side file."""
-        self.dropped = True
-        self._frames.clear()
-        self._table_cache.clear()
-        self._tree_cache.clear()
-        self.sparse.clear()
+        with self.latch:
+            self.dropped = True
+            self._frames.clear()
+            self._table_cache.clear()
+            self._tree_cache.clear()
+            self.sparse.clear()
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,15 @@ The pool is owned by the :class:`~repro.engine.engine.Engine`; users reach
 it through ``engine.query_as_of(db, t)`` or inline SQL
 (``SELECT ... FROM t AS OF '...'``). Named-snapshot DDL still works and
 bypasses the pool — those snapshots have user-controlled lifetimes.
+
+Concurrency: ``self.latch`` serializes the entry map, orphan map, stats
+and LRU clock (reprolint RL005 enforces the guard on every mutation).
+Snapshot *creation* deliberately happens outside the latch: it
+checkpoints the primary (taking the database write latch) and scans the
+log, so holding the pool latch across it would both invert the
+database→pool latch order and stall every concurrent lease behind one
+build. Racing creators for the same split are reconciled under the
+latch — the loser adopts the winner's entry and drops its own build.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from typing import Iterator
 
 from repro.core.asof import AsOfSnapshot
 from repro.errors import RetentionExceededError, SnapshotError
+from repro.latch import Latch
 
 #: Default side-file byte budget across all pooled snapshots (64 MiB).
 DEFAULT_POOL_BUDGET_BYTES = 64 * 1024 * 1024
@@ -82,6 +92,7 @@ class SnapshotPool:
     def __init__(self, budget_bytes: int = DEFAULT_POOL_BUDGET_BYTES) -> None:
         if budget_bytes <= 0:
             raise ValueError("snapshot pool budget must be positive")
+        self.latch = Latch("snapshot_pool")
         self.budget_bytes = budget_bytes
         self.stats = PoolStats()
         self._entries: dict[tuple[str, int], _PoolEntry] = {}
@@ -120,14 +131,53 @@ class SnapshotPool:
                     # pinned the log; serve the reuse if the time still
                     # resolves.
                     split = find_split_lsn(db, as_of_wall)
-                    entry = self._entries.get((db.name, split))
-                    if (
-                        entry is None
-                        or entry.snapshot.dropped
-                        or entry.snapshot.db is not db
-                    ):
-                        raise
+                    with self.latch:
+                        entry = self._entries.get((db.name, split))
+                        if (
+                            entry is None
+                            or entry.snapshot.dropped
+                            or entry.snapshot.db is not db
+                        ):
+                            raise
             key = (db.name, split)
+            snapshot = self._lease_pooled(key, db)
+            pool_span.set(split=split, hit=snapshot is not None)
+            if snapshot is not None:
+                return snapshot
+            # Miss: build outside the latch. Creation checkpoints the
+            # primary (database write latch) and runs the analysis scan;
+            # concurrent leases of other entries proceed meanwhile, and
+            # the database→pool latch order stays acyclic.
+            with tracer.span("asof.create_at_split", split=split):
+                built = AsOfSnapshot.create_at_split(
+                    db, f"~pool:{db.name}@{split:#x}", split
+                )
+            loser = None
+            with self.latch:
+                entry = self._entries.get(key)
+                if entry is not None and not (
+                    entry.snapshot.dropped or entry.snapshot.db is not db
+                ):
+                    # Another session built the same split concurrently;
+                    # adopt the pooled winner and discard our build.
+                    loser = built
+                else:
+                    entry = _PoolEntry(built)
+                    self._entries[key] = entry
+                self.stats.misses += 1
+                entry.refcount += 1
+                self._clock += 1
+                entry.last_used = self._clock
+                snapshot = entry.snapshot
+            if loser is not None:
+                loser.drop()
+            self._note_peak()
+            return snapshot
+
+    def _lease_pooled(self, key: tuple[str, int], db) -> AsOfSnapshot | None:
+        """Bump and return the pooled entry for ``key``, or ``None`` on a
+        miss (stale/dropped entries are removed and count as misses)."""
+        with self.latch:
             entry = self._entries.get(key)
             if entry is not None and (
                 entry.snapshot.dropped or entry.snapshot.db is not db
@@ -136,45 +186,37 @@ class SnapshotPool:
                 # replaced) cannot serve reads; rebuild it.
                 del self._entries[key]
                 entry = None
-            pool_span.set(split=split, hit=entry is not None)
             if entry is None:
-                with tracer.span("asof.create_at_split", split=split):
-                    snap = AsOfSnapshot.create_at_split(
-                        db, f"~pool:{db.name}@{split:#x}", split
-                    )
-                entry = _PoolEntry(snap)
-                self._entries[key] = entry
-                self.stats.misses += 1
-            else:
-                self.stats.hits += 1
+                return None
+            self.stats.hits += 1
             entry.refcount += 1
             self._clock += 1
             entry.last_used = self._clock
-            self._note_peak()
             return entry.snapshot
 
     def release(self, snapshot: AsOfSnapshot) -> None:
         """Return a lease obtained from :meth:`acquire`."""
-        orphan = self._orphans.get(id(snapshot))
-        if orphan is not None:
-            # The entry was force-dropped (purge/clear) while leased; the
-            # lease still has to unwind without raising.
-            orphan.refcount -= 1
-            if orphan.refcount <= 0:
-                del self._orphans[id(snapshot)]
+        with self.latch:
+            orphan = self._orphans.get(id(snapshot))
+            if orphan is not None:
+                # The entry was force-dropped (purge/clear) while leased;
+                # the lease still has to unwind without raising.
+                orphan.refcount -= 1
+                if orphan.refcount <= 0:
+                    del self._orphans[id(snapshot)]
+                self.stats.releases += 1
+                return
+            key = (snapshot.db.name, snapshot.split_lsn)
+            entry = self._entries.get(key)
+            if entry is None or entry.snapshot is not snapshot:
+                raise SnapshotError(
+                    f"snapshot {snapshot.name!r} is not leased from this pool"
+                )
+            if entry.refcount <= 0:
+                raise SnapshotError(f"snapshot {snapshot.name!r} released twice")
+            entry.refcount -= 1
             self.stats.releases += 1
-            return
-        key = (snapshot.db.name, snapshot.split_lsn)
-        entry = self._entries.get(key)
-        if entry is None or entry.snapshot is not snapshot:
-            raise SnapshotError(
-                f"snapshot {snapshot.name!r} is not leased from this pool"
-            )
-        if entry.refcount <= 0:
-            raise SnapshotError(f"snapshot {snapshot.name!r} released twice")
-        entry.refcount -= 1
-        self.stats.releases += 1
-        self.evict_to_budget()
+            self.evict_to_budget()
 
     @contextmanager
     def lease(self, db, as_of_wall: float) -> Iterator[AsOfSnapshot]:
@@ -195,14 +237,17 @@ class SnapshotPool:
         Recomputed on demand: side files grow lazily as queries touch
         pages, so a cached sum would go stale.
         """
-        return sum(
-            entry.snapshot.side_file_bytes() for entry in self._entries.values()
-        )
+        with self.latch:
+            return sum(
+                entry.snapshot.side_file_bytes()
+                for entry in self._entries.values()
+            )
 
     def _note_peak(self) -> None:
-        total = self.total_bytes()
-        if total > self.stats.peak_bytes:
-            self.stats.peak_bytes = total
+        with self.latch:
+            total = self.total_bytes()
+            if total > self.stats.peak_bytes:
+                self.stats.peak_bytes = total
 
     def evict_to_budget(self) -> int:
         """Drop idle least-recently-used entries until the total side-file
@@ -211,28 +256,30 @@ class SnapshotPool:
         Entries with live leases are never evicted — the pool may
         transiently exceed its budget while every entry is in use.
         """
-        self._note_peak()
-        evicted = 0
-        while self.total_bytes() > self.budget_bytes:
-            idle = [
-                (entry.last_used, key)
-                for key, entry in self._entries.items()
-                if entry.refcount == 0
-            ]
-            if not idle:
-                break
-            _stamp, key = min(idle)
-            self._drop_entry(key)
-            self.stats.evictions += 1
-            evicted += 1
-        return evicted
+        with self.latch:
+            self._note_peak()
+            evicted = 0
+            while self.total_bytes() > self.budget_bytes:
+                idle = [
+                    (entry.last_used, key)
+                    for key, entry in self._entries.items()
+                    if entry.refcount == 0
+                ]
+                if not idle:
+                    break
+                _stamp, key = min(idle)
+                self._drop_entry(key)
+                self.stats.evictions += 1
+                evicted += 1
+            return evicted
 
     def set_budget(self, budget_bytes: int) -> None:
         """Change the byte budget and evict immediately if now over it."""
         if budget_bytes <= 0:
             raise ValueError("snapshot pool budget must be positive")
-        self.budget_bytes = budget_bytes
-        self.evict_to_budget()
+        with self.latch:
+            self.budget_bytes = budget_bytes
+            self.evict_to_budget()
 
     def _drop_entry(self, key: tuple[str, int]) -> None:
         # Dropping an entry releases its retention pin; the next
@@ -242,10 +289,11 @@ class SnapshotPool:
         # always end above the log floor — their pins kept truncation at
         # or below the split — so they survive: exactly the
         # cross-snapshot reuse the store exists for.
-        entry = self._entries.pop(key)
-        if entry.refcount > 0:
-            self._orphans[id(entry.snapshot)] = entry
-        entry.snapshot.drop()
+        with self.latch:
+            entry = self._entries.pop(key)
+            if entry.refcount > 0:
+                self._orphans[id(entry.snapshot)] = entry
+            entry.snapshot.drop()
 
     # ------------------------------------------------------------------
     # Retention pinning / background undo drain
@@ -260,12 +308,13 @@ class SnapshotPool:
         active transactions, instead of entries failing at first use after
         a truncation. ``None`` when nothing is pooled for the database.
         """
-        pins = [
-            entry.snapshot.retention_pin_lsn
-            for (name, _split), entry in self._entries.items()
-            if name == db_name and not entry.snapshot.dropped
-        ]
-        return min(pins) if pins else None
+        with self.latch:
+            pins = [
+                entry.snapshot.retention_pin_lsn
+                for (name, _split), entry in self._entries.items()
+                if name == db_name and not entry.snapshot.dropped
+            ]
+            return min(pins) if pins else None
 
     def drain(self, max_txns: int | None = None) -> int:
         """Drive pending background undo on pooled entries; returns how
@@ -283,8 +332,13 @@ class SnapshotPool:
         for every later snapshot in the neighborhood, not just this
         entry's sparse file.
         """
+        # Snapshot the entry list under the latch, then undo outside it:
+        # undo walks log chains and fetches pages (log/buffer latches far
+        # below the pool in the lock order, but potentially slow).
+        with self.latch:
+            entries = list(self._entries.values())
         drained = 0
-        for entry in list(self._entries.values()):
+        for entry in entries:
             snapshot = entry.snapshot
             if snapshot.dropped or not snapshot.pending_undo_count:
                 continue
@@ -311,37 +365,43 @@ class SnapshotPool:
         readers see :class:`SnapshotError` on their next page access, not
         on release.
         """
-        keys = [key for key in self._entries if key[0] == db_name]
-        for key in keys:
-            self._drop_entry(key)
-        return len(keys)
+        with self.latch:
+            keys = [key for key in self._entries if key[0] == db_name]
+            for key in keys:
+                self._drop_entry(key)
+            return len(keys)
 
     def clear(self) -> None:
         """Drop every pooled snapshot."""
-        for key in list(self._entries):
-            self._drop_entry(key)
+        with self.latch:
+            for key in list(self._entries):
+                self._drop_entry(key)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.latch:
+            return len(self._entries)
 
     def __contains__(self, key: tuple[str, int]) -> bool:
-        return key in self._entries
+        with self.latch:
+            return key in self._entries
 
     def entries(self) -> list[tuple[str, int, int, int]]:
         """``(db_name, split_lsn, refcount, side_file_bytes)`` per entry."""
-        return [
-            (key[0], key[1], entry.refcount, entry.snapshot.side_file_bytes())
-            for key, entry in sorted(
-                self._entries.items(), key=lambda item: item[1].last_used
-            )
-        ]
+        with self.latch:
+            return [
+                (key[0], key[1], entry.refcount, entry.snapshot.side_file_bytes())
+                for key, entry in sorted(
+                    self._entries.items(), key=lambda item: item[1].last_used
+                )
+            ]
 
     def active_leases(self) -> int:
-        return sum(entry.refcount for entry in self._entries.values())
+        with self.latch:
+            return sum(entry.refcount for entry in self._entries.values())
 
     def __repr__(self) -> str:
         return (

@@ -46,6 +46,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.latch import Latch
+
 #: Default byte budget across all stored page versions (32 MiB).
 DEFAULT_VERSION_STORE_BUDGET_BYTES = 32 * 1024 * 1024
 
@@ -105,6 +107,7 @@ class PageVersionStore:
     ) -> None:
         if budget_bytes < 0:
             raise ValueError("version store budget must be >= 0")
+        self.latch = Latch("version_store")
         self.budget_bytes = budget_bytes
         self.stats = VersionStoreStats()
         #: Mirror counters into the engine-wide IoStats sheet when given.
@@ -127,18 +130,19 @@ class PageVersionStore:
         chain walk (header discovery, undo reads, undo CPU)."""
         if not self.enabled:
             return None
-        for version in self._versions.get((store_key, page_id), ()):
-            if version.covers(split_lsn):
-                self._clock += 1
-                version.last_used = self._clock
-                self.stats.hits += 1
-                if self.iostats is not None:
-                    self.iostats.version_store_hits += 1
-                return version.data
-        self.stats.misses += 1
-        if self.iostats is not None:
-            self.iostats.version_store_misses += 1
-        return None
+        with self.latch:
+            for version in self._versions.get((store_key, page_id), ()):
+                if version.covers(split_lsn):
+                    self._clock += 1
+                    version.last_used = self._clock
+                    self.stats.hits += 1
+                    if self.iostats is not None:
+                        self.iostats.version_store_hits += 1
+                    return version.data
+            self.stats.misses += 1
+            if self.iostats is not None:
+                self.iostats.version_store_misses += 1
+            return None
 
     def publish(
         self,
@@ -158,22 +162,23 @@ class PageVersionStore:
         """
         if not self.enabled or limit_lsn <= version_lsn:
             return
-        versions = self._versions.setdefault((store_key, page_id), [])
-        self._clock += 1
-        for version in versions:
-            if version.version_lsn == version_lsn:
-                version.limit_lsn = max(version.limit_lsn, limit_lsn)
-                version.last_used = self._clock
-                self._note_publish()
-                return
-        version = _Version(version_lsn, limit_lsn, bytes(data))
-        version.last_used = self._clock
-        versions.append(version)
-        self._bytes += len(version.data)
-        self._note_publish()
-        if self._bytes > self.stats.peak_bytes:
-            self.stats.peak_bytes = self._bytes
-        self.evict_to_budget()
+        with self.latch:
+            versions = self._versions.setdefault((store_key, page_id), [])
+            self._clock += 1
+            for version in versions:
+                if version.version_lsn == version_lsn:
+                    version.limit_lsn = max(version.limit_lsn, limit_lsn)
+                    version.last_used = self._clock
+                    self._note_publish()
+                    return
+            version = _Version(version_lsn, limit_lsn, bytes(data))
+            version.last_used = self._clock
+            versions.append(version)
+            self._bytes += len(version.data)
+            self._note_publish()
+            if self._bytes > self.stats.peak_bytes:
+                self.stats.peak_bytes = self._bytes
+            self.evict_to_budget()
 
     def _note_publish(self) -> None:
         self.stats.publishes += 1
@@ -185,17 +190,19 @@ class PageVersionStore:
     # ------------------------------------------------------------------
 
     def total_bytes(self) -> int:
-        return self._bytes
+        with self.latch:
+            return self._bytes
 
     def set_budget(self, budget_bytes: int) -> None:
         """Change the byte budget; evicts immediately when now over it."""
         if budget_bytes < 0:
             raise ValueError("version store budget must be >= 0")
-        self.budget_bytes = budget_bytes
-        if not self.enabled:
-            self.clear()
-        else:
-            self.evict_to_budget()
+        with self.latch:
+            self.budget_bytes = budget_bytes
+            if not self.enabled:
+                self.clear()
+            else:
+                self.evict_to_budget()
 
     def evict_to_budget(self) -> int:
         """Drop least-recently-used versions until under budget.
@@ -203,70 +210,74 @@ class PageVersionStore:
         One pass: candidates are sorted by recency once and evicted in
         order, so a large budget cut costs O(V log V), not O(V^2).
         """
-        if self._bytes <= self.budget_bytes or not self._versions:
-            return 0
-        candidates = sorted(
-            (
-                (version.last_used, key, version)
-                for key, versions in self._versions.items()
-                for version in versions
-            ),
-            key=lambda item: item[0],
-        )
-        evicted = 0
-        for _stamp, key, version in candidates:
-            if self._bytes <= self.budget_bytes:
-                break
-            versions = self._versions[key]
-            versions.remove(version)
-            self._bytes -= len(version.data)
-            if not versions:
-                del self._versions[key]
-            self.stats.evictions += 1
-            if self.iostats is not None:
-                self.iostats.version_store_evictions += 1
-            evicted += 1
-        return evicted
+        with self.latch:
+            if self._bytes <= self.budget_bytes or not self._versions:
+                return 0
+            candidates = sorted(
+                (
+                    (version.last_used, key, version)
+                    for key, versions in self._versions.items()
+                    for version in versions
+                ),
+                key=lambda item: item[0],
+            )
+            evicted = 0
+            for _stamp, key, version in candidates:
+                if self._bytes <= self.budget_bytes:
+                    break
+                versions = self._versions[key]
+                versions.remove(version)
+                self._bytes -= len(version.data)
+                if not versions:
+                    del self._versions[key]
+                self.stats.evictions += 1
+                if self.iostats is not None:
+                    self.iostats.version_store_evictions += 1
+                evicted += 1
+            return evicted
 
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
 
     def _drop_where(self, store_key: str, predicate) -> int:
-        dropped = 0
-        for key in [k for k in self._versions if k[0] == store_key]:
-            versions = self._versions[key]
-            kept = []
-            for version in versions:
-                if predicate(version):
-                    self._bytes -= len(version.data)
-                    dropped += 1
+        with self.latch:
+            dropped = 0
+            for key in [k for k in self._versions if k[0] == store_key]:
+                versions = self._versions[key]
+                kept = []
+                for version in versions:
+                    if predicate(version):
+                        self._bytes -= len(version.data)
+                        dropped += 1
+                    else:
+                        kept.append(version)
+                if kept:
+                    self._versions[key] = kept
                 else:
-                    kept.append(version)
-            if kept:
-                self._versions[key] = kept
-            else:
-                del self._versions[key]
-        if dropped:
-            self.stats.invalidations += dropped
-            if self.iostats is not None:
-                self.iostats.version_store_invalidations += dropped
-        return dropped
+                    del self._versions[key]
+            if dropped:
+                self.stats.invalidations += dropped
+                if self.iostats is not None:
+                    self.iostats.version_store_invalidations += dropped
+            return dropped
 
     def invalidate_from(self, store_key: str, lsn: int) -> int:
         """History at or above ``lsn`` was rewritten (crash discarded the
         volatile tail; promotion discarded shipped records): drop versions
         whose state no longer exists and clamp intervals that reached into
         the rewritten range. Returns versions dropped."""
-        for key, versions in self._versions.items():
-            if key[0] != store_key:
-                continue
-            for version in versions:
-                if version.limit_lsn > lsn:
-                    version.limit_lsn = lsn
-        return self._drop_where(
-            store_key, lambda v: v.version_lsn >= lsn or v.limit_lsn <= v.version_lsn
-        )
+        with self.latch:
+            for key, versions in self._versions.items():
+                if key[0] != store_key:
+                    continue
+                for version in versions:
+                    if version.limit_lsn > lsn:
+                        version.limit_lsn = lsn
+            return self._drop_where(
+                store_key,
+                lambda v: v.version_lsn >= lsn or v.limit_lsn <= v.version_lsn,
+            )
 
     def gc(self, store_key: str, floor_lsn: int) -> int:
         """Drop versions whose whole interval fell below the retained log.
@@ -278,17 +289,20 @@ class PageVersionStore:
         after each truncation — including the one that follows a pool
         eviction releasing its pin. Returns versions dropped.
         """
-        return self._drop_where(store_key, lambda v: v.limit_lsn <= floor_lsn)
+        with self.latch:
+            return self._drop_where(store_key, lambda v: v.limit_lsn <= floor_lsn)
 
     def purge(self, store_key: str) -> int:
         """Forget every version under ``store_key`` (database dropped, its
         name reused, or a promoted replica's timeline diverged)."""
-        return self._drop_where(store_key, lambda v: True)
+        with self.latch:
+            return self._drop_where(store_key, lambda v: True)
 
     def clear(self) -> None:
         """Drop every stored version."""
-        for store_key in {key[0] for key in self._versions}:
-            self.purge(store_key)
+        with self.latch:
+            for store_key in {key[0] for key in self._versions}:
+                self.purge(store_key)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -296,20 +310,26 @@ class PageVersionStore:
 
     def versions(self, store_key: str, page_id: int) -> list[tuple[int, int]]:
         """``(version_lsn, limit_lsn)`` intervals stored for a page."""
-        return [
-            (v.version_lsn, v.limit_lsn)
-            for v in self._versions.get((store_key, page_id), ())
-        ]
+        with self.latch:
+            return [
+                (v.version_lsn, v.limit_lsn)
+                for v in self._versions.get((store_key, page_id), ())
+            ]
 
     def version_count(self, store_key: str | None = None) -> int:
-        return sum(
-            len(versions)
-            for key, versions in self._versions.items()
-            if store_key is None or key[0] == store_key
-        )
+        with self.latch:
+            return sum(
+                len(versions)
+                for key, versions in self._versions.items()
+                if store_key is None or key[0] == store_key
+            )
 
     def as_dict(self) -> dict:
         """Stats surface for benchmarks and the engine API."""
+        with self.latch:
+            return self._as_dict_locked()
+
+    def _as_dict_locked(self) -> dict:
         return {
             "budget_bytes": self.budget_bytes,
             "bytes": self._bytes,

@@ -23,6 +23,7 @@ from repro.catalog.catalog import (
 from repro.catalog.schema import TableSchema
 from repro.config import DatabaseConfig, SimEnv
 from repro.engine.boot import BOOT_PAGE_ID, BOOT_SLOT, BootRecord, read_boot_record
+from repro.latch import Latch
 from repro.errors import (
     CatalogError,
     SnapshotReadOnlyError,
@@ -152,6 +153,13 @@ class Database:
         bootstrap: bool = True,
     ) -> None:
         self.name = name
+        #: Per-database write latch: one writing transaction at a time.
+        #: ``transaction()`` and ``run_system_txn`` take it for their
+        #: whole begin→commit span (reentrant, so system transactions
+        #: nested inside a user transaction just re-enter); the SQL
+        #: executor's explicit BEGIN/COMMIT holds it across statements.
+        #: Reads (current and AS OF) never take it.
+        self.write_latch = Latch(f"db:{name}:write")
         self.config = config if config is not None else DatabaseConfig()
         self.config.validate()
         self.env = env if env is not None else SimEnv.for_tests()
@@ -410,28 +418,30 @@ class Database:
     def transaction(self):
         """``with db.transaction() as txn:`` — commit on success, roll back
         on exception."""
-        txn = self.begin()
-        try:
-            yield txn
-        except BaseException:
-            if txn.is_active:
-                self.rollback(txn)
-            raise
-        else:
-            if txn.is_active:
-                self.commit(txn)
+        with self.write_latch:
+            txn = self.begin()
+            try:
+                yield txn
+            except BaseException:
+                if txn.is_active:
+                    self.rollback(txn)
+                raise
+            else:
+                if txn.is_active:
+                    self.commit(txn)
 
     def run_system_txn(self, fn):
         """Run ``fn(txn)`` in an immediately-committed system transaction."""
-        txn = self.txns.begin(system=True)
-        try:
-            result = fn(txn)
-        except BaseException:
-            if txn.is_active:
-                self.txns.rollback(txn)
-            raise
-        self.txns.commit(txn)
-        return result
+        with self.write_latch:
+            txn = self.txns.begin(system=True)
+            try:
+                result = fn(txn)
+            except BaseException:
+                if txn.is_active:
+                    self.txns.rollback(txn)
+                raise
+            self.txns.commit(txn)
+            return result
 
     # ------------------------------------------------------------------
     # DDL and table access

@@ -10,6 +10,8 @@ from typing import TYPE_CHECKING, Iterator
 from repro.chaos import FailoverCoordinator, FaultInjector, RetryPolicy
 from repro.config import DatabaseConfig, MonitorConfig, SimEnv
 from repro.engine.database import Database
+from repro.engine.scheduler import DEFAULT_TIMEOUT_S, SessionScheduler
+from repro.latch import Latch
 from repro.errors import (
     CatalogError,
     FaultInjectedError,
@@ -76,6 +78,12 @@ class Engine:
         )
 
         self.env = env if env is not None else SimEnv.for_tests()
+        #: Catalog latch: serializes create/drop/promote of databases,
+        #: snapshots, replicas, shippers and archivers against each other
+        #: and against sessions resolving names. Top of the engine's
+        #: latch order (see docs/concurrency.md) — safe to hold across
+        #: any subsystem call.
+        self.latch = Latch("engine_catalog")
         self.default_config = config if config is not None else DatabaseConfig()
         self.databases: dict[str, Database] = {}
         self.snapshots: dict[str, "AsOfSnapshot"] = {}
@@ -146,6 +154,12 @@ class Engine:
             raise CatalogError(f"name {name!r} is in use by a replica")
 
     def create_database(self, name: str, config: DatabaseConfig | None = None) -> Database:
+        with self.latch:
+            return self._create_database_locked(name, config)
+
+    def _create_database_locked(
+        self, name: str, config: DatabaseConfig | None
+    ) -> Database:
         self._check_name_free(name)
         # A dropped namesake's archive must not serve (or absorb) the new
         # incarnation's history: its LSN space is unrelated. Reusing the
@@ -175,6 +189,10 @@ class Engine:
         return db
 
     def drop_database(self, name: str) -> None:
+        with self.latch:
+            return self._drop_database_locked(name)
+
+    def _drop_database_locked(self, name: str) -> None:
         db = self.database(name)
         for snap_name in [n for n, s in self.snapshots.items() if s.db is db]:
             self.drop_snapshot(snap_name)
@@ -229,28 +247,32 @@ class Engine:
         """``CREATE DATABASE snap AS SNAPSHOT OF db AS OF '...'``."""
         from repro.core.asof import AsOfSnapshot
 
-        if snap_name in self.snapshots or snap_name in self.databases:
-            raise SnapshotError(f"name {snap_name!r} already in use")
-        db = self.database(db_name)
-        try:
-            snap = AsOfSnapshot.create(db, snap_name, self.resolve_as_of(as_of))
-        except RetentionExceededError as err:
-            raise self._retention_error(db_name, err) from err
-        self.snapshots[snap_name] = snap
-        db.snapshots[snap_name] = snap
-        return snap
+        with self.latch:
+            if snap_name in self.snapshots or snap_name in self.databases:
+                raise SnapshotError(f"name {snap_name!r} already in use")
+            db = self.database(db_name)
+            try:
+                snap = AsOfSnapshot.create(
+                    db, snap_name, self.resolve_as_of(as_of)
+                )
+            except RetentionExceededError as err:
+                raise self._retention_error(db_name, err) from err
+            self.snapshots[snap_name] = snap
+            db.snapshots[snap_name] = snap
+            return snap
 
     def create_snapshot(self, db_name: str, snap_name: str) -> "RegularSnapshot":
         """``CREATE DATABASE snap AS SNAPSHOT OF db`` (copy-on-write)."""
         from repro.snapshot.base import RegularSnapshot
 
-        if snap_name in self.snapshots or snap_name in self.databases:
-            raise SnapshotError(f"name {snap_name!r} already in use")
-        db = self.database(db_name)
-        snap = RegularSnapshot.create_now(db, snap_name)
-        self.snapshots[snap_name] = snap
-        db.snapshots[snap_name] = snap
-        return snap
+        with self.latch:
+            if snap_name in self.snapshots or snap_name in self.databases:
+                raise SnapshotError(f"name {snap_name!r} already in use")
+            db = self.database(db_name)
+            snap = RegularSnapshot.create_now(db, snap_name)
+            self.snapshots[snap_name] = snap
+            db.snapshots[snap_name] = snap
+            return snap
 
     def snapshot(self, name: str) -> "AsOfSnapshot":
         snap = self.snapshots.get(name)
@@ -259,10 +281,11 @@ class Engine:
         return snap
 
     def drop_snapshot(self, name: str) -> None:
-        snap = self.snapshot(name)
-        snap.drop()
-        snap.db.snapshots.pop(name, None)
-        del self.snapshots[name]
+        with self.latch:
+            snap = self.snapshot(name)
+            snap.drop()
+            snap.db.snapshots.pop(name, None)
+            del self.snapshots[name]
 
     # ------------------------------------------------------------------
     # Replication (log-shipping standbys)
@@ -272,12 +295,13 @@ class Engine:
         """The (lazily created) outbound log shipper for ``db_name``."""
         from repro.replication.shipper import LogShipper
 
-        shipper = self._shippers.get(db_name)
-        if shipper is None:
-            shipper = LogShipper(self.database(db_name))
-            self._shippers[db_name] = shipper
-            install_shipper_metrics(self, shipper)
-        return shipper
+        with self.latch:
+            shipper = self._shippers.get(db_name)
+            if shipper is None:
+                shipper = LogShipper(self.database(db_name))
+                self._shippers[db_name] = shipper
+                install_shipper_metrics(self, shipper)
+            return shipper
 
     def add_replica(
         self,
@@ -305,6 +329,29 @@ class Engine:
         from repro.replication.replica import Replica
         from repro.wal.lsn import FIRST_LSN
 
+        with self.latch:
+            return self._add_replica_locked(
+                Replica,
+                FIRST_LSN,
+                db_name,
+                name,
+                apply_delay_s,
+                apply_slots,
+                config,
+                seed_from_backup,
+            )
+
+    def _add_replica_locked(
+        self,
+        Replica,
+        FIRST_LSN,
+        db_name,
+        name,
+        apply_delay_s,
+        apply_slots,
+        config,
+        seed_from_backup,
+    ) -> "Replica":
         db = self.database(db_name)
         if name is None:
             suffix = 1
@@ -371,6 +418,10 @@ class Engine:
         return replica
 
     def drop_replica(self, name: str) -> None:
+        with self.latch:
+            return self._drop_replica_locked(name)
+
+    def _drop_replica_locked(self, name: str) -> None:
         replica = self.replica(name)
         shipper = self._shippers.get(replica.primary.name)
         if shipper is not None:
@@ -393,6 +444,10 @@ class Engine:
         """Promote a standby to a writable database registered under its
         own name (failover, or delayed-apply error recovery when ``up_to``
         stops the timeline just before the error)."""
+        with self.latch:
+            return self._promote_replica_locked(name, up_to)
+
+    def _promote_replica_locked(self, name: str, up_to) -> Database:
         replica = self.replica(name)
         up_to_wall = None if up_to is None else self.resolve_as_of(up_to)
         # Promote first: if it refuses (unreachable point, already-applied
@@ -514,6 +569,10 @@ class Engine:
         return self.chaos.events()
 
     def _record_ha(self, event: str, db: str, detail: str) -> None:
+        with self.latch:
+            self._record_ha_locked(event, db, detail)
+
+    def _record_ha_locked(self, event: str, db: str, detail: str) -> None:
         self.ha_events.append(
             {
                 "seq": len(self.ha_events),
@@ -537,13 +596,14 @@ class Engine:
         fail until :meth:`failover_to_replica` (or the auto-failover
         coordinator) promotes a survivor.
         """
-        db = self.database(name)
-        if db.crashed:
-            return
-        shipper = self._shippers.get(name)
-        if shipper is not None:
-            shipper.poll()
-        db.crashed = True
+        with self.latch:
+            db = self.database(name)
+            if db.crashed:
+                return
+            shipper = self._shippers.get(name)
+            if shipper is not None:
+                shipper.poll()
+            db.crashed = True
         self._record_ha(
             "crash", name, "primary halted; durable tail drained to subscribers"
         )
@@ -586,6 +646,12 @@ class Engine:
         name, the old primary is decommissioned, and read offload
         naturally follows the re-pointed replicas.
         """
+        with self.latch:
+            return self._failover_locked(db_name, replica_name)
+
+    def _failover_locked(
+        self, db_name: str, replica_name: str | None
+    ) -> Database:
         survivors = self.replicas_of(db_name)
         if not survivors:
             raise ReplicationError(
@@ -631,6 +697,10 @@ class Engine:
         """Retire a crashed, failed-over primary: every subscription was
         re-pointed already, so this only unhooks the corpse's metrics,
         monitor series and pooled state, then forgets the database."""
+        with self.latch:
+            return self._decommission_locked(name)
+
+    def _decommission_locked(self, name: str) -> None:
         db = self.databases.get(name)
         if db is None:
             return
@@ -679,6 +749,16 @@ class Engine:
         from repro.archive.store import ArchiveStore
         from repro.errors import ArchiveError
 
+        with self.latch:
+            return self._enable_archiving_locked(
+                LogArchiver, ArchiveStore, ArchiveError,
+                db_name, store, directory, profile,
+            )
+
+    def _enable_archiving_locked(
+        self, LogArchiver, ArchiveStore, ArchiveError,
+        db_name, store, directory, profile,
+    ) -> "LogArchiver":
         existing = self.archives.get(db_name)
         if existing is not None and not existing.closed:
             # Idempotent re-enable is fine; a *different* requested store
@@ -715,13 +795,14 @@ class Engine:
         The archive store itself is kept: already-archived history stays
         restorable, and re-enabling resumes at the archive's edge.
         """
-        archiver = self.archives.get(db_name)
-        if archiver is not None and not archiver.closed:
-            archiver.poll()
-            archiver.close()
-            # The detached subscription's recorded progress series would
-            # otherwise go stale and read as a ship stall.
-            self._purge_monitor(f"repl.ship.{archiver.name}.")
+        with self.latch:
+            archiver = self.archives.get(db_name)
+            if archiver is not None and not archiver.closed:
+                archiver.poll()
+                archiver.close()
+                # The detached subscription's recorded progress series
+                # would otherwise go stale and read as a ship stall.
+                self._purge_monitor(f"repl.ship.{archiver.name}.")
 
     def backup_database(self, db_name: str, *, full: bool = False):
         """``BACKUP DATABASE``: archive a backup chained onto the newest.
@@ -1135,6 +1216,36 @@ class Engine:
             return
         for prefix in prefixes:
             self.monitor.remove_prefix(prefix)
+
+    # ------------------------------------------------------------------
+    # Concurrent sessions (see repro.engine.scheduler)
+    # ------------------------------------------------------------------
+
+    def run_sessions(
+        self,
+        tasks,
+        workers: int = 4,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> list:
+        """Run session tasks concurrently against this engine.
+
+        ``tasks`` is an iterable of callables — each one a whole session
+        (open a SQL session, run a transaction mix, sweep AS OF reads,
+        pump replication) executed entirely on one of ``workers`` threads.
+        Results return in task order; the first task exception re-raises
+        after all workers drain; a batch that outlives ``timeout_s``
+        dumps every thread's stack and raises
+        :class:`~repro.engine.scheduler.SchedulerTimeout` (the
+        deadlock-fails-fast contract the stress suite relies on).
+
+        Tasks taking an argument receive the engine::
+
+            engine.run_sessions([
+                lambda: engine.sql("INSERT ..."),
+                lambda: engine.replication_tick(),
+            ], workers=2)
+        """
+        return SessionScheduler(workers).run(tasks, timeout_s)
 
     # ------------------------------------------------------------------
 

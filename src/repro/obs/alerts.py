@@ -21,7 +21,10 @@ use to react to ``repl.apply_lag`` firings.
 
 Mutable tables here (``_conditions``, ``_events``) are owned by this
 module (RL005); readers go through :meth:`active`/:meth:`rows`/
-:meth:`events` and drop paths through :meth:`remove_prefix`.
+:meth:`events` and drop paths through :meth:`remove_prefix`. All of
+them sit under ``self.latch``, so a concurrent ``monitor_tick`` and
+``drop_database`` interleave as whole evaluations against whole purges
+— never a dict mutated mid-iteration.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
+
+from repro.latch import Latch
 
 #: Canonical alert-event schema identifier.
 ALERTS_SCHEMA = "repro.obs.alerts/v1"
@@ -112,6 +117,7 @@ class AlertEngine:
     """Evaluates rules against a :class:`~repro.obs.timeseries.MetricsRecorder`."""
 
     def __init__(self, recorder, *, events_capacity: int = DEFAULT_EVENTS_CAPACITY) -> None:
+        self.latch = Latch("alert_engine")
         self.recorder = recorder
         self._rules: dict[str, AlertRule] = {}
         self._conditions: dict[tuple, ConditionState] = {}
@@ -122,23 +128,27 @@ class AlertEngine:
     # -- rule management ------------------------------------------------
 
     def add_rule(self, rule: AlertRule) -> AlertRule:
-        if rule.name in self._rules:
-            raise ValueError(f"duplicate alert rule {rule.name!r}")
-        self._rules[rule.name] = rule
-        return rule
+        with self.latch:
+            if rule.name in self._rules:
+                raise ValueError(f"duplicate alert rule {rule.name!r}")
+            self._rules[rule.name] = rule
+            return rule
 
     def remove_rule(self, name: str) -> None:
-        self._rules.pop(name, None)
-        for key in [k for k in self._conditions if k[0] == name]:
-            del self._conditions[key]
+        with self.latch:
+            self._rules.pop(name, None)
+            for key in [k for k in self._conditions if k[0] == name]:
+                del self._conditions[key]
 
     def rules(self) -> list[AlertRule]:
-        return [self._rules[name] for name in sorted(self._rules)]
+        with self.latch:
+            return [self._rules[name] for name in sorted(self._rules)]
 
     def subscribe(self, pattern: str, callback) -> None:
         """Call ``callback(event)`` on every firing/cleared transition of
         rules whose name matches ``pattern`` (a glob)."""
-        self._subscribers.append((pattern, callback))
+        with self.latch:
+            self._subscribers.append((pattern, callback))
 
     # -- evaluation -----------------------------------------------------
 
@@ -146,6 +156,10 @@ class AlertEngine:
         """Run every rule once; returns the events this pass emitted."""
         if now is None:
             now = self.recorder.clock.now()
+        with self.latch:
+            return self._evaluate_locked(now)
+
+    def _evaluate_locked(self, now: float) -> list[dict]:
         self.evaluations += 1
         emitted: list[dict] = []
         for name in sorted(self._rules):
@@ -200,11 +214,14 @@ class AlertEngine:
         self, rule: AlertRule, metric: str, breach: bool, value, now: float
     ) -> list[dict]:
         key = (rule.name, metric)
-        cond = self._conditions.get(key)
-        if cond is None:
-            if not breach:
-                return []
-            cond = self._conditions[key] = ConditionState(rule=rule, metric=metric)
+        with self.latch:
+            cond = self._conditions.get(key)
+            if cond is None:
+                if not breach:
+                    return []
+                cond = self._conditions[key] = ConditionState(
+                    rule=rule, metric=metric
+                )
         cond.value = value
         if breach:
             if cond.state == "firing":
@@ -239,8 +256,10 @@ class AlertEngine:
             "severity": cond.rule.severity,
             "subsystem": cond.rule.subsystem,
         }
-        self._events.append(event)
-        for pattern, callback in self._subscribers:
+        with self.latch:
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        for pattern, callback in subscribers:
             if fnmatchcase(cond.rule.name, pattern):
                 callback(event)
         return event
@@ -249,21 +268,26 @@ class AlertEngine:
 
     def active(self) -> list[dict]:
         """Currently-firing conditions, ordered by (rule, metric)."""
-        return [
-            cond.row()
-            for key in sorted(self._conditions)
-            if (cond := self._conditions[key]).state == "firing"
-        ]
+        with self.latch:
+            return [
+                cond.row()
+                for key in sorted(self._conditions)
+                if (cond := self._conditions[key]).state == "firing"
+            ]
 
     def rows(self) -> list[dict]:
         """Every tracked condition (firing, pending, and cleared) — the
         ``SHOW ALERTS`` surface, where a cleared row is the proof the
         incident ended."""
-        return [self._conditions[key].row() for key in sorted(self._conditions)]
+        with self.latch:
+            return [
+                self._conditions[key].row() for key in sorted(self._conditions)
+            ]
 
     def events(self) -> list[dict]:
         """The bounded firing/cleared timeline, oldest first."""
-        return list(self._events)
+        with self.latch:
+            return list(self._events)
 
     def as_dict(self) -> dict:
         return {
@@ -278,8 +302,9 @@ class AlertEngine:
     def remove_prefix(self, prefix: str) -> None:
         """Forget conditions anchored to metrics under ``prefix`` (a
         dropped database must not keep ghost alerts alive)."""
-        for key in [k for k in self._conditions if k[1].startswith(prefix)]:
-            del self._conditions[key]
+        with self.latch:
+            for key in [k for k in self._conditions if k[1].startswith(prefix)]:
+                del self._conditions[key]
 
 
 def builtin_rules(cfg) -> list[AlertRule]:

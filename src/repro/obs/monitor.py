@@ -8,10 +8,17 @@ A tick samples only when the sim-clock cadence is due and evaluates the
 rules only when a sample actually ran, so alert timelines are a pure
 function of the simulated execution — the determinism contract the
 ``SHOW HISTORY`` / ``SHOW ALERTS`` byte-identity tests pin down.
+
+``self.latch`` makes ``tick`` and ``remove_prefix`` mutually atomic:
+a session's pump-point tick and a concurrent ``DROP DATABASE`` purge
+serialize as whole units, so a drop never lands between a tick's
+sample and its rule evaluation (which could otherwise briefly alert on
+series the drop was in the middle of forgetting).
 """
 
 from __future__ import annotations
 
+from repro.latch import Latch
 from repro.obs.alerts import AlertEngine, builtin_rules
 from repro.obs.health import rollup
 from repro.obs.timeseries import MetricsRecorder
@@ -32,6 +39,7 @@ class EngineMonitor:
         rules=None,
         like: str | None = None,
     ) -> None:
+        self.latch = Latch("engine_monitor")
         self.config = config
         self.recorder = MetricsRecorder(
             registry,
@@ -47,15 +55,17 @@ class EngineMonitor:
             self.alerts.add_rule(rule)
 
     def start(self) -> None:
-        self.recorder.start()
-        self.alerts.evaluate()
+        with self.latch:
+            self.recorder.start()
+            self.alerts.evaluate()
 
     def tick(self) -> bool:
         """One pump-point tick; returns whether a sample+evaluation ran."""
-        if not self.recorder.maybe_sample():
-            return False
-        self.alerts.evaluate()
-        return True
+        with self.latch:
+            if not self.recorder.maybe_sample():
+                return False
+            self.alerts.evaluate()
+            return True
 
     # -- read side ------------------------------------------------------
 
@@ -89,5 +99,6 @@ class EngineMonitor:
 
     def remove_prefix(self, prefix: str) -> None:
         """Purge a dropped database/replica from history and alert state."""
-        self.recorder.remove_prefix(prefix)
-        self.alerts.remove_prefix(prefix)
+        with self.latch:
+            self.recorder.remove_prefix(prefix)
+            self.alerts.remove_prefix(prefix)

@@ -27,8 +27,11 @@ Naming scheme (see ``docs/observability.md``): dot-separated
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from fnmatch import fnmatchcase
+
+from repro.latch import Latch
 
 #: Canonical snapshot schema identifier (bump on incompatible change).
 METRICS_SCHEMA = "repro.obs.metrics/v1"
@@ -101,7 +104,7 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram (counts per ``value <= bound`` bucket)."""
 
-    __slots__ = ("name", "doc", "bounds", "counts", "total", "count")
+    __slots__ = ("name", "doc", "bounds", "counts", "total", "count", "_lock")
 
     def __init__(self, name: str, doc: str = "", bounds=DEFAULT_SIM_TIME_BUCKETS_S) -> None:
         self.name = name
@@ -113,26 +116,32 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
+        # A leaf lock of its own (not the registry latch): observations
+        # arrive from hot paths already holding subsystem latches.
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.total += value
+            self.count += 1
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.total = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.total = 0.0
+            self.count = 0
 
     def as_dict(self) -> dict:
-        return {
-            "buckets": [
-                [bound, self.counts[i]] for i, bound in enumerate(self.bounds)
-            ],
-            "overflow": self.counts[-1],
-            "count": self.count,
-            "sum": self.total,
-        }
+        with self._lock:
+            return {
+                "buckets": [
+                    [bound, self.counts[i]] for i, bound in enumerate(self.bounds)
+                ],
+                "overflow": self.counts[-1],
+                "count": self.count,
+                "sum": self.total,
+            }
 
 
 class MetricsRegistry:
@@ -145,6 +154,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
+        self.latch = Latch("metrics_registry")
         self._instruments: dict[str, object] = {}
         # Dynamic providers contribute extra counter values at snapshot
         # time (the IoStats ``_extra`` ad-hoc counters register one).
@@ -162,13 +172,14 @@ class MetricsRegistry:
 
     def counter(self, name: str, doc: str = "") -> Counter:
         """Create (or fetch the existing) self-owned counter ``name``."""
-        existing = self._instruments.get(name)
-        if existing is not None:
-            self._check_kind(name, existing, Counter)
-            return existing
-        instrument = Counter(name, doc)
-        self._instruments[name] = instrument
-        return instrument
+        with self.latch:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                self._check_kind(name, existing, Counter)
+                return existing
+            instrument = Counter(name, doc)
+            self._instruments[name] = instrument
+            return instrument
 
     def backed_counter(self, name: str, read, write, doc: str = "") -> Counter:
         """A counter whose storage lives elsewhere (a legacy stats field).
@@ -177,57 +188,66 @@ class MetricsRegistry:
         (new pool, new replica under a reused name) rebinds the metric to
         its live object.
         """
-        existing = self._instruments.get(name)
-        if existing is not None:
-            self._check_kind(name, existing, Counter)
-        instrument = Counter(name, doc, read=read, write=write)
-        self._instruments[name] = instrument
-        return instrument
+        with self.latch:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                self._check_kind(name, existing, Counter)
+            instrument = Counter(name, doc, read=read, write=write)
+            self._instruments[name] = instrument
+            return instrument
 
     def gauge(self, name: str, read, doc: str = "") -> Gauge:
         """Register derived gauge ``name``; re-registration replaces the
         closure (a subsystem restart rebinds its live object)."""
-        existing = self._instruments.get(name)
-        if existing is not None:
-            self._check_kind(name, existing, Gauge)
-        instrument = Gauge(name, read, doc)
-        self._instruments[name] = instrument
-        return instrument
+        with self.latch:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                self._check_kind(name, existing, Gauge)
+            instrument = Gauge(name, read, doc)
+            self._instruments[name] = instrument
+            return instrument
 
     def histogram(self, name: str, doc: str = "", bounds=DEFAULT_SIM_TIME_BUCKETS_S) -> Histogram:
-        existing = self._instruments.get(name)
-        if existing is not None:
-            self._check_kind(name, existing, Histogram)
-            return existing
-        instrument = Histogram(name, doc, bounds)
-        self._instruments[name] = instrument
-        return instrument
+        with self.latch:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                self._check_kind(name, existing, Histogram)
+                return existing
+            instrument = Histogram(name, doc, bounds)
+            self._instruments[name] = instrument
+            return instrument
 
     def add_provider(self, provider) -> None:
         """``provider()`` returns ``{name: int}`` merged into the counter
         section at snapshot time (ad-hoc counters)."""
-        self._providers.append(provider)
+        with self.latch:
+            self._providers.append(provider)
 
     def add_reset_hook(self, hook) -> None:
         """``hook()`` runs on :meth:`reset` (clears provider storage)."""
-        self._reset_hooks.append(hook)
+        with self.latch:
+            self._reset_hooks.append(hook)
 
     def remove(self, name: str) -> None:
-        self._instruments.pop(name, None)
+        with self.latch:
+            self._instruments.pop(name, None)
 
     def remove_prefix(self, prefix: str) -> None:
         """Unregister every instrument under ``prefix`` (dropped replica,
         detached archiver, dropped database)."""
-        for name in [n for n in self._instruments if n.startswith(prefix)]:
-            del self._instruments[name]
+        with self.latch:
+            for name in [n for n in self._instruments if n.startswith(prefix)]:
+                del self._instruments[name]
 
     # -- read side ------------------------------------------------------
 
     def get(self, name: str):
-        return self._instruments.get(name)
+        with self.latch:
+            return self._instruments.get(name)
 
     def names(self, like: str | None = None) -> list[str]:
-        names = sorted(self._instruments)
+        with self.latch:
+            names = sorted(self._instruments)
         if like is None:
             return names
         return [n for n in names if fnmatchcase(n, like)]
@@ -239,6 +259,10 @@ class MetricsRegistry:
         clocks. ``like`` applies the same glob ``SHOW METRICS LIKE``
         uses.
         """
+        with self.latch:
+            return self._snapshot_locked(like)
+
+    def _snapshot_locked(self, like: str | None) -> dict:
         counters: dict[str, int] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, dict] = {}
@@ -270,7 +294,8 @@ class MetricsRegistry:
         one call clears the IoStats sheet *and* every subsystem stats
         object registered over it (pool, version store, shipper, replica,
         archiver). Gauges are derived and untouched."""
-        for instrument in self._instruments.values():
-            instrument.reset()
-        for hook in self._reset_hooks:
-            hook()
+        with self.latch:
+            for instrument in self._instruments.values():
+                instrument.reset()
+            for hook in self._reset_hooks:
+                hook()

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.latch import Latch
+
 
 class SlowQueryLog:
     """Bounded capture of statements slower than ``threshold_s``."""
 
     def __init__(self, threshold_s: float, capacity: int) -> None:
+        self.latch = Latch("slow_query_log")
         self.threshold_s = threshold_s
         self.capacity = capacity
         self._slow_entries: deque = deque(maxlen=capacity)
@@ -33,28 +36,31 @@ class SlowQueryLog:
 
     def record(self, *, t_s: float, statement: str, sim_s: float, spans) -> None:
         """Keep one offender; ``spans`` is the rendered trace's lines."""
-        self._slow_entries.append(
-            {
-                "t_s": t_s,
-                "statement": statement,
-                "sim_s": sim_s,
-                "spans": list(spans),
-            }
-        )
-        self.captured += 1
+        with self.latch:
+            self._slow_entries.append(
+                {
+                    "t_s": t_s,
+                    "statement": statement,
+                    "sim_s": sim_s,
+                    "spans": list(spans),
+                }
+            )
+            self.captured += 1
 
     def entries(self) -> list[dict]:
         """Retained entries, oldest first."""
-        return list(self._slow_entries)
+        with self.latch:
+            return list(self._slow_entries)
 
     def rows(self) -> list[dict]:
         """The ``SHOW SLOW QUERIES`` surface: one summary row per entry."""
-        return [
-            {
-                "t_s": entry["t_s"],
-                "statement": entry["statement"],
-                "sim_s": entry["sim_s"],
-                "spans": len(entry["spans"]),
-            }
-            for entry in self._slow_entries
-        ]
+        with self.latch:
+            return [
+                {
+                    "t_s": entry["t_s"],
+                    "statement": entry["statement"],
+                    "sim_s": entry["sim_s"],
+                    "spans": len(entry["spans"]),
+                }
+                for entry in self._slow_entries
+            ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 from fnmatch import fnmatchcase
 
+from repro.latch import Latch
 from repro.obs.export import flatten_snapshot
 
 #: Canonical history document schema identifier.
@@ -130,6 +131,7 @@ class MetricsRecorder:
             raise ValueError("interval_s must be positive")
         if capacity < 2:
             raise ValueError("capacity must be at least 2 (rates need a slope)")
+        self.latch = Latch("metrics_recorder")
         self.registry = registry
         self.clock = clock
         self.interval_s = interval_s
@@ -148,52 +150,58 @@ class MetricsRecorder:
 
     def start(self) -> None:
         """Arm the recorder and take the first sample immediately."""
-        if self.started:
-            return
-        self._next_due = self.clock.now()
-        self.maybe_sample()
+        with self.latch:
+            if self.started:
+                return
+            self._next_due = self.clock.now()
+            self.maybe_sample()
 
     def maybe_sample(self) -> bool:
         """Sample if the cadence is due; returns whether a sample ran."""
-        if self._next_due is None:
-            return False
-        now = self.clock.now()
-        if now < self._next_due:
-            return False
-        self.sample()
-        return True
+        with self.latch:
+            if self._next_due is None:
+                return False
+            now = self.clock.now()
+            if now < self._next_due:
+                return False
+            self.sample()
+            return True
 
     def sample(self) -> float:
         """Take one sample unconditionally; returns its sim timestamp."""
-        now = self.clock.now()
-        flat = flatten_snapshot(self.registry.snapshot(self.like))
-        for name, value in flat.items():
-            series = self._series.get(name)
-            if series is None:
-                series = self._series[name] = Series(name, self.capacity)
-            series.append(now, value)
-        self.samples_taken += 1
-        self.last_sample_s = now
-        if self._next_due is not None:
-            self._next_due = now + self.interval_s
-        return now
+        with self.latch:
+            now = self.clock.now()
+            flat = flatten_snapshot(self.registry.snapshot(self.like))
+            for name, value in flat.items():
+                series = self._series.get(name)
+                if series is None:
+                    series = self._series[name] = Series(name, self.capacity)
+                series.append(now, value)
+            self.samples_taken += 1
+            self.last_sample_s = now
+            if self._next_due is not None:
+                self._next_due = now + self.interval_s
+            return now
 
     # -- read side ------------------------------------------------------
 
     def names(self, like: str | None = None) -> list[str]:
-        names = sorted(self._series)
+        with self.latch:
+            names = sorted(self._series)
         if like is None:
             return names
         return [n for n in names if fnmatchcase(n, like)]
 
     def series(self, name: str) -> Series | None:
-        return self._series.get(name)
+        with self.latch:
+            return self._series.get(name)
 
     def points(self, name: str, window_s: float | None = None) -> list:
-        series = self._series.get(name)
-        if series is None:
-            return []
-        return series.points(window_s, now=self.clock.now())
+        with self.latch:
+            series = self._series.get(name)
+            if series is None:
+                return []
+            return series.points(window_s, now=self.clock.now())
 
     def window(self, name: str, window_s: float | None = None) -> dict:
         """The windowed summary of one series (see :func:`summarize`)."""
@@ -209,20 +217,22 @@ class MetricsRecorder:
         """The canonical history document: full retained points per
         series, schema-tagged, keys sorted — the ``--history --json``
         export CI diffs for byte-identity."""
-        return {
-            "schema": HISTORY_SCHEMA,
-            "interval_s": self.interval_s,
-            "samples": self.samples_taken,
-            "series": {
-                name: [[t, v] for t, v in self._series[name].points()]
-                for name in self.names(like)
-            },
-        }
+        with self.latch:
+            return {
+                "schema": HISTORY_SCHEMA,
+                "interval_s": self.interval_s,
+                "samples": self.samples_taken,
+                "series": {
+                    name: [[t, v] for t, v in self._series[name].points()]
+                    for name in self.names(like)
+                },
+            }
 
     # -- lifecycle ------------------------------------------------------
 
     def remove_prefix(self, prefix: str) -> None:
         """Drop every series under ``prefix`` (a dropped database or
         replica must not leave ghost history behind)."""
-        for name in [n for n in self._series if n.startswith(prefix)]:
-            del self._series[name]
+        with self.latch:
+            for name in [n for n in self._series if n.startswith(prefix)]:
+                del self._series[name]

@@ -21,6 +21,10 @@ Every span records:
 
 from __future__ import annotations
 
+import threading
+
+from repro.latch import Latch
+
 
 class Span:
     """One node of a finished (or in-flight) span tree."""
@@ -152,38 +156,51 @@ class Trace:
 class Tracer:
     """The env-wide tracer; inactive (cheap no-ops) between traces.
 
-    The span stack (``_span_stack``) is owned by this module; engine code
-    interacts only through :meth:`span`/:meth:`begin`/:meth:`finish`.
+    The span stacks (``_span_stack``, keyed by thread ident) are owned by
+    this module; engine code interacts only through
+    :meth:`span`/:meth:`begin`/:meth:`finish`. Traces are **per thread**:
+    each session thread may run its own trace concurrently — its spans
+    attach to its own stack, and instrumentation points on threads with
+    no active trace stay no-ops. A stack's list is only ever touched by
+    its own thread; the latch guards the stack *table*.
     """
 
     def __init__(self, clock, stats) -> None:
+        self.latch = Latch("tracer")
         self._clock = clock
         self._stats = stats
-        self._span_stack: list[Span] | None = None
+        #: thread ident -> open-span stack of that thread's active trace.
+        self._span_stack: dict[int, list[Span]] = {}
+
+    def _stack(self) -> list[Span] | None:
+        return self._span_stack.get(threading.get_ident())
 
     @property
     def active(self) -> bool:
-        return self._span_stack is not None
+        """Whether the *calling thread* has an active trace."""
+        return self._stack() is not None
 
     def span(self, name: str, **attrs):
         """Open a span under the active trace; no-op when inactive."""
-        if self._span_stack is None:
+        if self._stack() is None:
             return NULL_SPAN
         return _SpanContext(self, name, attrs)
 
     def begin(self, name: str) -> Trace:
-        """Activate tracing with a root span named ``name``."""
-        if self._span_stack is not None:
-            raise ValueError("a trace is already active on this environment")
-        root = Span(name, {}, self._clock.now(), self._stats.snapshot())
-        self._span_stack = [root]
+        """Activate tracing on this thread with a root span ``name``."""
+        ident = threading.get_ident()
+        with self.latch:
+            if ident in self._span_stack:
+                raise ValueError("a trace is already active on this thread")
+            root = Span(name, {}, self._clock.now(), self._stats.snapshot())
+            self._span_stack[ident] = [root]
         return Trace(name)
 
     def finish(self, trace: Trace) -> Trace:
-        """Deactivate tracing; closes the root and any spans left open by
-        an exception unwinding through the traced region."""
-        stack = self._span_stack
-        self._span_stack = None
+        """Deactivate this thread's trace; closes the root and any spans
+        left open by an exception unwinding through the traced region."""
+        with self.latch:
+            stack = self._span_stack.pop(threading.get_ident(), None)
         if not stack:
             return trace
         for span in reversed(stack):
@@ -194,13 +211,14 @@ class Tracer:
     # -- internals (called via _SpanContext) ----------------------------
 
     def _open(self, name: str, attrs: dict) -> Span:
+        stack = self._stack()
         span = Span(name, attrs, self._clock.now(), self._stats.snapshot())
-        self._span_stack[-1].children.append(span)
-        self._span_stack.append(span)
+        stack[-1].children.append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span) -> None:
-        stack = self._span_stack
+        stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
         self._seal(span)

@@ -217,7 +217,10 @@ class Replica:
         chaos = getattr(self.db.env, "chaos", None)
         if chaos is not None and eligible > self.applied_lsn:
             chaos.hit("repl.apply", target=self.name)
-        return self._apply_range(eligible)
+        # Redo mutates the standby's pages across records; offloaded
+        # readers serialize against it on the standby's write latch.
+        with self.db.write_latch:
+            return self._apply_range(eligible)
 
     # -- apply fault state (the engine's tick drives retry/backoff) ----
 

@@ -9,6 +9,7 @@ in the paper's figures map to simulated minutes here, reproducibly.
 
 from __future__ import annotations
 
+import threading
 import time
 from datetime import datetime, timedelta, timezone
 
@@ -38,6 +39,10 @@ class SimClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        # Leaf lock: several sessions race the clock forward (devices,
+        # think time). It guards only the read-modify-write below and is
+        # never held while calling anything else.
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         """Current simulated time in seconds."""
@@ -47,8 +52,9 @@ class SimClock:
         """Move the clock forward by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds!r} (< 0)")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, timestamp: float) -> float:
         """Move the clock forward to ``timestamp`` if it is in the future.
@@ -57,9 +63,10 @@ class SimClock:
         backwards); this makes it safe for several actors to race toward
         the same deadline.
         """
-        if timestamp > self._now:
-            self._now = timestamp
-        return self._now
+        with self._lock:
+            if timestamp > self._now:
+                self._now = timestamp
+            return self._now
 
     def to_datetime(self, timestamp: float | None = None) -> datetime:
         """Render a simulated timestamp as an absolute UTC datetime."""

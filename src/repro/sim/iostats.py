@@ -15,10 +15,19 @@ the io counters, the ad-hoc extras, **and** every subsystem stats object
 registered over the same registry (pool, version store, shipper, replica,
 archiver) — closing the gap where ``env.stats.reset()`` zeroed
 ``version_store_*`` mirrors but left the store's own counters ticking.
+
+Concurrency: individual ``+=`` bumps from different sessions are benign
+under the GIL for *reporting* counters (a lost increment skews a report,
+never corrupts engine state), but multi-counter **views** must not tear
+mid-operation — so :meth:`snapshot`, :meth:`delta`, :meth:`as_dict`,
+:meth:`bump` on ad-hoc extras, and the unbound :meth:`reset` serialize
+on an internal leaf lock (``_lock``; nothing is called while holding
+it, so it can never participate in a latch-order cycle).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 from functools import partial
 
@@ -106,6 +115,11 @@ class IoStats:
 
     _extra: dict = field(default_factory=dict, repr=False)
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: the lock must stay out of ``fields()``
+        # iteration, comparisons, and serialized views.
+        self._lock = threading.Lock()
+
     def bind_registry(self, registry) -> None:
         """Expose every counter through ``registry`` as ``io.<name>``.
 
@@ -133,7 +147,8 @@ class IoStats:
         if hasattr(self, counter) and not counter.startswith("_"):
             setattr(self, counter, getattr(self, counter) + amount)
         else:
-            self._extra[counter] = self._extra.get(counter, 0) + amount
+            with self._lock:
+                self._extra[counter] = self._extra.get(counter, 0) + amount
 
     def get(self, counter: str) -> int:
         """Read a counter by name (0 for unknown ad-hoc counters)."""
@@ -144,35 +159,43 @@ class IoStats:
     def snapshot(self) -> "IoStats":
         """A frozen copy of the current counter values."""
         copy = IoStats()
-        for spec in fields(self):
-            if spec.name == "_extra":
-                continue
-            setattr(copy, spec.name, getattr(self, spec.name))
-        copy._extra = dict(self._extra)
+        with self._lock:
+            for spec in fields(self):
+                if spec.name == "_extra":
+                    continue
+                setattr(copy, spec.name, getattr(self, spec.name))
+            copy._extra = dict(self._extra)
         return copy
 
     def delta(self, since: "IoStats") -> "IoStats":
         """Counter-wise difference ``self - since``."""
         diff = IoStats()
-        for spec in fields(self):
-            if spec.name == "_extra":
-                continue
-            setattr(diff, spec.name, getattr(self, spec.name) - getattr(since, spec.name))
-        keys = set(self._extra) | set(since._extra)
-        diff._extra = {
-            key: self._extra.get(key, 0) - since._extra.get(key, 0) for key in keys
-        }
+        with self._lock:
+            for spec in fields(self):
+                if spec.name == "_extra":
+                    continue
+                setattr(
+                    diff,
+                    spec.name,
+                    getattr(self, spec.name) - getattr(since, spec.name),
+                )
+            keys = set(self._extra) | set(since._extra)
+            diff._extra = {
+                key: self._extra.get(key, 0) - since._extra.get(key, 0)
+                for key in keys
+            }
         return diff
 
     def as_dict(self) -> dict:
         """All counters (including ad-hoc ones) as a plain dict."""
-        result = {
-            spec.name: getattr(self, spec.name)
-            for spec in fields(self)
-            if spec.name != "_extra"
-        }
-        result.update(self._extra)
-        return result
+        with self._lock:
+            result = {
+                spec.name: getattr(self, spec.name)
+                for spec in fields(self)
+                if spec.name != "_extra"
+            }
+            result.update(self._extra)
+            return result
 
     def reset(self) -> None:
         """Zero every counter in place.
@@ -187,8 +210,9 @@ class IoStats:
         if registry is not None:
             registry.reset()
             return
-        for spec in fields(self):
-            if spec.name == "_extra":
-                continue
-            setattr(self, spec.name, 0)
-        self._extra.clear()
+        with self._lock:
+            for spec in fields(self):
+                if spec.name == "_extra":
+                    continue
+                setattr(self, spec.name, 0)
+            self._extra.clear()

@@ -159,7 +159,18 @@ class Session:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the session's pinned snapshot lease, if any."""
+        """Release the session's pinned snapshot lease and roll back any
+        still-open explicit transaction (its write latch must not outlive
+        the session)."""
+        if self.txn is not None:
+            db = self.engine.databases.get(self.current)
+            try:
+                if db is not None and self.txn.is_active:
+                    db.rollback(self.txn)
+            finally:
+                self.txn = None
+                if db is not None:
+                    db.write_latch.release()
         self._unpin()
 
     def __enter__(self) -> "Session":
@@ -320,6 +331,19 @@ class Session:
         return self._filter_rows(self._reader_for(ref), stmt)
 
     def _filter_rows(self, reader, stmt: Select):
+        # A multi-page scan of a live database must not observe another
+        # session's transaction mid-flight (half-applied b-tree splits),
+        # so it holds the database's write latch — reentrant, so reads
+        # inside an explicit transaction just re-enter. Snapshots and
+        # replicas' point-in-time views have no write latch; their own
+        # snapshot latch covers page preparation.
+        guard = getattr(reader, "write_latch", None)
+        if guard is None:
+            return self._filter_rows_unlocked(reader, stmt)
+        with guard:
+            return self._filter_rows_unlocked(reader, stmt)
+
+    def _filter_rows_unlocked(self, reader, stmt: Select):
         schema = self._schema_of(reader, stmt.table.name)
         names = schema.column_names
         out = []
@@ -550,16 +574,31 @@ class Session:
                 )
             if self.current is None or self.current not in self.engine.databases:
                 raise SqlExecutionError("BEGIN requires a current database")
-            self.txn = self.engine.databases[self.current].begin()
+            db = self.engine.databases[self.current]
+            # An explicit transaction holds the database write latch
+            # across statements (released by COMMIT/ROLLBACK below, or
+            # by close()): the begin→commit span is one write-serialized
+            # unit, exactly like ``db.transaction()``. Non-lexical
+            # acquire/release is safe because a session runs wholly on
+            # one scheduler worker thread (RLocks are thread-affine).
+            db.write_latch.acquire()
+            try:
+                self.txn = db.begin()
+            except BaseException:
+                db.write_latch.release()
+                raise
             return Result(message="BEGIN")
         if self.txn is None:
             raise SqlExecutionError(f"{stmt.action} without BEGIN")
         db = self.engine.databases[self.current]
-        if stmt.action == "COMMIT":
-            db.commit(self.txn)
-        else:
-            db.rollback(self.txn)
-        self.txn = None
+        try:
+            if stmt.action == "COMMIT":
+                db.commit(self.txn)
+            else:
+                db.rollback(self.txn)
+        finally:
+            self.txn = None
+            db.write_latch.release()
         return Result(message=stmt.action)
 
     def _do_checkpoint(self, stmt: Checkpoint) -> Result:

@@ -1,9 +1,15 @@
 """Buffer pool: cached page frames with pinning, WAL discipline, LRU.
 
-Single-threaded cooperative engine, so latches reduce to pin counts that
-protect frames from eviction while a caller works on them. The WAL rule
-lives in eviction and flushing: a dirty page never reaches the data file
-before the log is durable up to its ``pageLSN``.
+Pin counts protect frames from eviction while a caller works on them;
+``pool.latch`` serializes the frame table and the pin counters across
+sessions (pin/unpin run under it, so eviction never races a pin landing
+on the victim). The WAL rule lives in eviction and flushing: a dirty
+page never reaches the data file before the log is durable up to its
+``pageLSN``.
+
+Latch order: the pool latch is held across ``_write_back``'s
+``log.flush`` (buffer → log), never the other way around — the log
+manager calls nothing back into the buffer pool.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.errors import BufferPoolError
+from repro.latch import Latch
 from repro.sim.iostats import IoStats
 from repro.storage.datafile import FileManager
 from repro.storage.page import Page
@@ -46,7 +53,8 @@ class FrameGuard:
     def __init__(self, pool: "BufferPool", frame: Frame) -> None:
         self._pool = pool
         self.frame = frame
-        frame.pin_count += 1
+        with pool.latch:
+            frame.pin_count += 1
 
     @property
     def page(self) -> Page:
@@ -66,11 +74,12 @@ class FrameGuard:
         self.unpin()
 
     def unpin(self) -> None:
-        if self.frame.pin_count <= 0:
-            raise BufferPoolError(
-                f"frame {self.frame.page_id} unpinned more times than pinned"
-            )
-        self.frame.pin_count -= 1
+        with self._pool.latch:
+            if self.frame.pin_count <= 0:
+                raise BufferPoolError(
+                    f"frame {self.frame.page_id} unpinned more times than pinned"
+                )
+            self.frame.pin_count -= 1
 
 
 class BufferPool:
@@ -85,6 +94,7 @@ class BufferPool:
     ) -> None:
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be >= 1")
+        self.latch = Latch("buffer_pool")
         self.file_manager = file_manager
         self.capacity = capacity
         self.stats = stats
@@ -92,7 +102,8 @@ class BufferPool:
         self._frames: OrderedDict[int, Frame] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self.latch:
+            return len(self._frames)
 
     # ------------------------------------------------------------------
     # Fetch
@@ -106,70 +117,77 @@ class BufferPool:
         no content worth reading; the paper's ever-allocated bit exists to
         tell these cases apart).
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
-            self.stats.buffer_hits += 1
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                self.stats.buffer_hits += 1
+                return FrameGuard(self, frame)
+            self.stats.buffer_misses += 1
+            self._make_room()
+            if create:
+                data = bytearray(self.file_manager.page_size)
+            else:
+                data = self.file_manager.read_page(page_id)
+            frame = Frame(Page(data), page_id)
+            self._frames[page_id] = frame
             return FrameGuard(self, frame)
-        self.stats.buffer_misses += 1
-        self._make_room()
-        if create:
-            data = bytearray(self.file_manager.page_size)
-        else:
-            data = self.file_manager.read_page(page_id)
-        frame = Frame(Page(data), page_id)
-        self._frames[page_id] = frame
-        return FrameGuard(self, frame)
 
     def peek(self, page_id: int) -> Frame | None:
         """The cached frame for ``page_id``, or None; no I/O, no pin."""
-        return self._frames.get(page_id)
+        with self.latch:
+            return self._frames.get(page_id)
 
     # ------------------------------------------------------------------
     # Eviction and flushing
     # ------------------------------------------------------------------
 
     def _make_room(self) -> None:
-        while len(self._frames) >= self.capacity:
-            victim_id = None
-            for page_id, frame in self._frames.items():
-                if frame.pin_count == 0:
-                    victim_id = page_id
-                    break
-            if victim_id is None:
-                raise BufferPoolError(
-                    f"all {len(self._frames)} frames pinned; cannot evict"
-                )
-            frame = self._frames.pop(victim_id)
-            if frame.dirty:
-                self._write_back(frame)
-            self.stats.buffer_evictions += 1
+        with self.latch:
+            while len(self._frames) >= self.capacity:
+                victim_id = None
+                for page_id, frame in self._frames.items():
+                    if frame.pin_count == 0:
+                        victim_id = page_id
+                        break
+                if victim_id is None:
+                    raise BufferPoolError(
+                        f"all {len(self._frames)} frames pinned; cannot evict"
+                    )
+                frame = self._frames.pop(victim_id)
+                if frame.dirty:
+                    self._write_back(frame)
+                self.stats.buffer_evictions += 1
 
     def _write_back(self, frame: Frame) -> None:
-        if self.log is not None:
-            self.log.flush(frame.page.page_lsn)
-        self.file_manager.write_page(frame.page_id, bytes(frame.page.data))
-        frame.dirty = False
+        with self.latch:
+            if self.log is not None:
+                self.log.flush(frame.page.page_lsn)
+            self.file_manager.write_page(frame.page_id, bytes(frame.page.data))
+            frame.dirty = False
 
     def flush_page(self, page_id: int) -> None:
         """Write one page back if dirty (stays cached)."""
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.dirty:
-            self._write_back(frame)
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.dirty:
+                self._write_back(frame)
 
     def flush_all(self) -> int:
         """Write every dirty page back (checkpoint); returns pages written."""
-        if self.log is not None:
-            self.log.flush()
-        written = 0
-        for frame in self._frames.values():
-            if frame.dirty:
-                self._write_back(frame)
-                written += 1
-        return written
+        with self.latch:
+            if self.log is not None:
+                self.log.flush()
+            written = 0
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self._write_back(frame)
+                    written += 1
+            return written
 
     def dirty_page_ids(self) -> list[int]:
-        return [pid for pid, frame in self._frames.items() if frame.dirty]
+        with self.latch:
+            return [pid for pid, frame in self._frames.items() if frame.dirty]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,19 +195,22 @@ class BufferPool:
 
     def drop_clean(self, page_id: int) -> None:
         """Forget a cached page without writing it (snapshot caches)."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            if frame.pin_count:
-                raise BufferPoolError(f"page {page_id} is pinned")
-            del self._frames[page_id]
+        with self.latch:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                if frame.pin_count:
+                    raise BufferPoolError(f"page {page_id} is pinned")
+                del self._frames[page_id]
 
     def crash(self) -> None:
         """Simulate power loss: all buffered state disappears."""
-        self._frames.clear()
+        with self.latch:
+            self._frames.clear()
 
     def __repr__(self) -> str:
-        dirty = sum(1 for f in self._frames.values() if f.dirty)
-        return (
-            f"BufferPool({len(self._frames)}/{self.capacity} frames, "
-            f"{dirty} dirty)"
-        )
+        with self.latch:
+            dirty = sum(1 for f in self._frames.values() if f.dirty)
+            return (
+                f"BufferPool({len(self._frames)}/{self.capacity} frames, "
+                f"{dirty} dirty)"
+            )

@@ -1,8 +1,8 @@
 """Lock manager: shared/exclusive locks with wait-for-graph deadlock checks.
 
 Lock keys are hashable tuples — ``(object_id,)`` for object locks,
-``(object_id, key_bytes)`` for row locks. The engine is cooperative
-(single-threaded), so a conflicting request never parks a thread; instead:
+``(object_id, key_bytes)`` for row locks. Conflicts never park a thread
+inside the lock manager; instead:
 
 * if a *resolver* is installed, it is invoked to make progress (as-of
   snapshots use this: a query hitting a lock held by an in-flight
@@ -12,6 +12,12 @@ Lock keys are hashable tuples — ``(object_id,)`` for object locks,
   graph (networkx) would acquire a cycle, :class:`LockConflictError`
   otherwise, and the caller (a test interleaving transactions, or the
   engine aborting a victim) decides what to do.
+
+``self.latch`` serializes the lock table and wait map across sessions.
+It is deliberately *released* around the resolver callback: the resolver
+re-enters snapshot and log code whose latches sit above the lock manager
+in the engine's lock order (see ``docs/concurrency.md``), so holding the
+lock-manager latch across it would invert that order.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import enum
 import networkx as nx
 
 from repro.errors import DeadlockError, LockError
+from repro.latch import Latch
 
 
 class LockConflictError(LockError):
@@ -49,6 +56,7 @@ class LockManager:
     """Lock table for one database (primary or snapshot)."""
 
     def __init__(self) -> None:
+        self.latch = Latch("lock_manager")
         self._table: dict[tuple, _Entry] = {}
         #: Declared waits: txn_id -> (key, mode); persists across retries so
         #: genuine deadlocks between interleaved transactions are detected.
@@ -94,60 +102,68 @@ class LockManager:
         Re-acquiring an already-held lock is a no-op; holding SHARED and
         requesting EXCLUSIVE upgrades when no other holder exists.
         """
-        entry = self._table.setdefault(key, _Entry())
         attempts = 0
         while True:
-            blockers = self._conflicts(entry, txn.txn_id, mode)
-            if not blockers:
-                break
-            if stats is not None:
-                stats.lock_waits += 1
-            if self._would_deadlock(txn.txn_id, blockers):
+            with self.latch:
+                entry = self._table.setdefault(key, _Entry())
+                blockers = self._conflicts(entry, txn.txn_id, mode)
+                if not blockers:
+                    self._waits.pop(txn.txn_id, None)
+                    held = entry.holders.get(txn.txn_id)
+                    if held is None or (
+                        held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+                    ):
+                        entry.holders[txn.txn_id] = mode
+                    txn.locks.add(key)
+                    return
                 if stats is not None:
-                    stats.deadlocks += 1
-                raise DeadlockError(
-                    f"transaction {txn.txn_id} would deadlock on {key!r} "
-                    f"(holders {sorted(blockers)})"
-                )
-            self._waits[txn.txn_id] = (key, mode)
+                    stats.lock_waits += 1
+                if self._would_deadlock(txn.txn_id, blockers):
+                    if stats is not None:
+                        stats.deadlocks += 1
+                    raise DeadlockError(
+                        f"transaction {txn.txn_id} would deadlock on {key!r} "
+                        f"(holders {sorted(blockers)})"
+                    )
+                self._waits[txn.txn_id] = (key, mode)
+            # Resolver runs *outside* the latch: it re-enters snapshot/log
+            # code whose latches precede this one in the lock order. The
+            # conflict is re-checked from scratch on the next loop pass —
+            # the world may have changed while the latch was released.
             resolved = False
             if self.resolver is not None and attempts < 64:
                 resolved = bool(self.resolver(key, blockers))
                 attempts += 1
             if not resolved:
                 raise LockConflictError(key, blockers)
-        self._waits.pop(txn.txn_id, None)
-        # A resolver may have emptied and garbage-collected the table entry
-        # (release_all deletes empty entries); re-attach before granting.
-        entry = self._table.setdefault(key, entry)
-        held = entry.holders.get(txn.txn_id)
-        if held is None or (held is LockMode.SHARED and mode is LockMode.EXCLUSIVE):
-            entry.holders[txn.txn_id] = mode
-        txn.locks.add(key)
 
     def release_all(self, txn) -> None:
         """Drop every lock ``txn`` holds (commit/abort)."""
-        for key in txn.locks:
-            entry = self._table.get(key)
-            if entry is not None:
-                entry.holders.pop(txn.txn_id, None)
-                if not entry.holders:
-                    del self._table[key]
-        txn.locks.clear()
-        self._waits.pop(txn.txn_id, None)
+        with self.latch:
+            for key in txn.locks:
+                entry = self._table.get(key)
+                if entry is not None:
+                    entry.holders.pop(txn.txn_id, None)
+                    if not entry.holders:
+                        del self._table[key]
+            txn.locks.clear()
+            self._waits.pop(txn.txn_id, None)
 
     # ------------------------------------------------------------------
 
     def holders_of(self, key: tuple) -> frozenset:
-        entry = self._table.get(key)
-        return frozenset(entry.holders) if entry else frozenset()
+        with self.latch:
+            entry = self._table.get(key)
+            return frozenset(entry.holders) if entry else frozenset()
 
     def held_by(self, txn_id: int) -> list[tuple]:
-        return [
-            key
-            for key, entry in self._table.items()
-            if txn_id in entry.holders
-        ]
+        with self.latch:
+            return [
+                key
+                for key, entry in self._table.items()
+                if txn_id in entry.holders
+            ]
 
     def lock_count(self) -> int:
-        return sum(len(entry.holders) for entry in self._table.values())
+        with self.latch:
+            return sum(len(entry.holders) for entry in self._table.values())

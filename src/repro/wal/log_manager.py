@@ -19,6 +19,7 @@ from collections import OrderedDict
 
 from repro.config import SimEnv
 from repro.errors import LogRecordDecodeError, LogTruncatedError, WalError
+from repro.latch import Latch
 from repro.obs.registry import DEFAULT_BYTES_BUCKETS
 from repro.wal.lsn import FIRST_LSN, NULL_LSN, format_lsn
 from repro.wal.records import (
@@ -61,6 +62,7 @@ class LogManager:
         #: span when at most this many unneeded blocks separate them —
         #: reading through a short gap beats paying another random seek.
         self.coalesce_gap_blocks = coalesce_gap_blocks
+        self.latch = Latch("log_manager")
         self._data = bytearray(LOG_HEADER_MAGIC)
         self._base = 0  # LSN of _data[0]
         self._durable_end = FIRST_LSN
@@ -81,7 +83,8 @@ class LogManager:
     @property
     def end_lsn(self) -> int:
         """LSN one past the last appended record (next record's LSN)."""
-        return self._base + len(self._data)
+        with self.latch:
+            return self._base + len(self._data)
 
     @property
     def durable_lsn(self) -> int:
@@ -113,29 +116,30 @@ class LogManager:
         Charges the per-record CPU cost (the log-manager synchronization
         the paper identifies as the throughput-sensitive term).
         """
-        record.lsn = self.end_lsn
-        blob = record.serialize()
-        self._data += blob
-        self._append_hist.observe(len(blob))
-        if isinstance(record, CommitRecord):
-            self._last_commit_lsn = record.lsn
-        stats = self.env.stats
-        stats.log_records += 1
-        if isinstance(record, PreformatPageRecord):
-            stats.preformat_records += 1
-            stats.preformat_bytes += len(blob)
-        elif isinstance(record, PageImageRecord):
-            stats.page_image_records += 1
-            stats.page_image_bytes += len(blob)
-        elif isinstance(record, ClrRecord):
-            comp = record.comp
-            undo_payload = getattr(comp, "row", None)
-            if undo_payload is None:
-                undo_payload = getattr(comp, "old", None)
-            if undo_payload is not None:
-                stats.clr_undo_bytes += len(undo_payload)
-        self.env.charge_cpu(self.env.cost.log_record_cpu_s)
-        return record.lsn
+        with self.latch:
+            record.lsn = self.end_lsn
+            blob = record.serialize()
+            self._data += blob
+            self._append_hist.observe(len(blob))
+            if isinstance(record, CommitRecord):
+                self._last_commit_lsn = record.lsn
+            stats = self.env.stats
+            stats.log_records += 1
+            if isinstance(record, PreformatPageRecord):
+                stats.preformat_records += 1
+                stats.preformat_bytes += len(blob)
+            elif isinstance(record, PageImageRecord):
+                stats.page_image_records += 1
+                stats.page_image_bytes += len(blob)
+            elif isinstance(record, ClrRecord):
+                comp = record.comp
+                undo_payload = getattr(comp, "row", None)
+                if undo_payload is None:
+                    undo_payload = getattr(comp, "old", None)
+                if undo_payload is not None:
+                    stats.clr_undo_bytes += len(undo_payload)
+            self.env.charge_cpu(self.env.cost.log_record_cpu_s)
+            return record.lsn
 
     def flush(self, up_to_lsn: int | None = None) -> None:
         """Make the log durable.
@@ -144,23 +148,26 @@ class LogManager:
         (``up_to_lsn`` only lets callers skip the flush when already
         durable). Charges one sequential write for the flushed bytes.
         """
-        end = self.end_lsn
-        if up_to_lsn is not None and up_to_lsn < self._durable_end:
-            return
-        if self._durable_end >= end:
-            return
-        nbytes = end - self._durable_end
-        # Group commit: the caller waits for the submission, the transfer
-        # drains asynchronously (accrues as log-device utilization).
-        self.env.log_device.write_seq_async(nbytes)
-        self.env.stats.log_flushes += 1
-        self.env.stats.log_write_bytes += nbytes
-        self._durable_end = end
+        with self.latch:
+            end = self.end_lsn
+            if up_to_lsn is not None and up_to_lsn < self._durable_end:
+                return
+            if self._durable_end >= end:
+                return
+            nbytes = end - self._durable_end
+            # Group commit: the caller waits for the submission, the
+            # transfer drains asynchronously (accrues as log-device
+            # utilization).
+            self.env.log_device.write_seq_async(nbytes)
+            self.env.stats.log_flushes += 1
+            self.env.stats.log_write_bytes += nbytes
+            self._durable_end = end
 
     def append_and_flush(self, record: LogRecord) -> int:
-        lsn = self.append(record)
-        self.flush()
-        return lsn
+        with self.latch:
+            lsn = self.append(record)
+            self.flush()
+            return lsn
 
     # ------------------------------------------------------------------
     # Random reads (page-oriented undo's access path)
@@ -180,6 +187,10 @@ class LogManager:
 
     def _touch_block(self, lsn: int, *, sequential: bool, undo: bool) -> None:
         """Account (and charge) the block access containing ``lsn``."""
+        with self.latch:
+            self._touch_block_locked(lsn, sequential=sequential, undo=undo)
+
+    def _touch_block_locked(self, lsn: int, *, sequential: bool, undo: bool) -> None:
         if lsn >= self._durable_end:
             return  # volatile tail: still in memory, free
         block = lsn // self.block_size
@@ -203,10 +214,11 @@ class LogManager:
 
     def read(self, lsn: int, *, for_undo: bool = False) -> LogRecord:
         """Fetch the record at ``lsn`` (random access)."""
-        self._check_readable(lsn)
-        self._touch_block(lsn, sequential=False, undo=for_undo)
-        record, _end = decode_record(self._data, lsn - self._base, lsn)
-        return record
+        with self.latch:
+            self._check_readable(lsn)
+            self._touch_block(lsn, sequential=False, undo=for_undo)
+            record, _end = decode_record(self._data, lsn - self._base, lsn)
+            return record
 
     def undo_fetch(self, lsn: int) -> LogRecord:
         """``read`` bound for undo paths: counted as an undo log access."""
@@ -227,17 +239,18 @@ class LogManager:
         header charges :data:`HEADER_READ_BYTES` of random I/O and does
         **not** populate the block cache (the block was never streamed).
         """
-        self._check_readable(lsn)
-        if lsn < self._durable_end:
-            block = lsn // self.block_size
-            stats = self.env.stats
-            if block in self._cache:
-                self._cache.move_to_end(block)
-                stats.undo_log_cache_hits += 1
-            else:
-                self.env.log_device.read_random(HEADER_READ_BYTES)
-                stats.undo_header_reads += 1
-        return unpack_header(self._data, lsn - self._base, lsn)
+        with self.latch:
+            self._check_readable(lsn)
+            if lsn < self._durable_end:
+                block = lsn // self.block_size
+                stats = self.env.stats
+                if block in self._cache:
+                    self._cache.move_to_end(block)
+                    stats.undo_log_cache_hits += 1
+                else:
+                    self.env.log_device.read_random(HEADER_READ_BYTES)
+                    stats.undo_header_reads += 1
+            return unpack_header(self._data, lsn - self._base, lsn)
 
     def read_many(self, lsns, *, for_undo: bool = True) -> dict[int, LogRecord]:
         """Fetch the records at ``lsns`` with coalesced I/O; returns
@@ -262,7 +275,9 @@ class LogManager:
         result: dict[int, LogRecord] = {}
         if not wanted:
             return result
-        with self.env.tracer.span("log.read_many", records=len(wanted)) as span:
+        with self.latch, self.env.tracer.span(
+            "log.read_many", records=len(wanted)
+        ) as span:
             for lsn in wanted:
                 self._check_readable(lsn)
             stats = self.env.stats
@@ -321,17 +336,18 @@ class LogManager:
         """
         if from_lsn >= to_lsn:
             return b""
-        self._check_readable(from_lsn)
-        if to_lsn > self.end_lsn:
-            raise WalError(
-                f"read_bytes end {format_lsn(to_lsn)} beyond log end "
-                f"{format_lsn(self.end_lsn)}"
-            )
-        block = (from_lsn // self.block_size) * self.block_size
-        while block < to_lsn:
-            self._touch_block(max(block, from_lsn), sequential=True, undo=False)
-            block += self.block_size
-        return bytes(self._data[from_lsn - self._base : to_lsn - self._base])
+        with self.latch:
+            self._check_readable(from_lsn)
+            if to_lsn > self.end_lsn:
+                raise WalError(
+                    f"read_bytes end {format_lsn(to_lsn)} beyond log end "
+                    f"{format_lsn(self.end_lsn)}"
+                )
+            block = (from_lsn // self.block_size) * self.block_size
+            while block < to_lsn:
+                self._touch_block(max(block, from_lsn), sequential=True, undo=False)
+                block += self.block_size
+            return bytes(self._data[from_lsn - self._base : to_lsn - self._base])
 
     def record_aligned_end(
         self, from_lsn: int, max_bytes: int, limit_lsn: int | None = None
@@ -344,18 +360,21 @@ class LogManager:
         ``from_lsn`` when not even one record fits the budget — the caller
         must then grow the budget rather than ship a torn record.
         """
-        self._check_readable(from_lsn)
-        limit = self.end_lsn if limit_lsn is None else min(limit_lsn, self.end_lsn)
-        end = from_lsn
-        while end < limit:
-            offset = end - self._base
-            total = int.from_bytes(self._data[offset : offset + 4], "little")
-            if total < HEADER_SIZE or end + total > limit:
-                break
-            if end + total - from_lsn > max_bytes and end > from_lsn:
-                break
-            end += total
-        return end
+        with self.latch:
+            self._check_readable(from_lsn)
+            limit = (
+                self.end_lsn if limit_lsn is None else min(limit_lsn, self.end_lsn)
+            )
+            end = from_lsn
+            while end < limit:
+                offset = end - self._base
+                total = int.from_bytes(self._data[offset : offset + 4], "little")
+                if total < HEADER_SIZE or end + total > limit:
+                    break
+                if end + total - from_lsn > max_bytes and end > from_lsn:
+                    break
+                end += total
+            return end
 
     def ingest(self, start_lsn: int, data: bytes) -> int:
         """Land shipped log bytes on a standby's log (durable immediately).
@@ -371,41 +390,42 @@ class LogManager:
         anchor for SplitLSN search *before* any page state exists, and the
         chain is read from the log, not from pages.
         """
-        if start_lsn != self.end_lsn:
-            raise WalError(
-                f"ingest at {format_lsn(start_lsn)} does not continue the "
-                f"log (end is {format_lsn(self.end_lsn)})"
-            )
-        if not data:
-            return NULL_LSN
-        # Header walk: reject torn frames before mutating any state.
-        offset = 0
-        last_commit = NULL_LSN
-        last_checkpoint = NULL_LSN
-        while offset < len(data):
-            if offset + HEADER_SIZE > len(data):
-                raise LogRecordDecodeError(
-                    f"ingest frame ends mid-header at byte {offset}"
+        with self.latch:
+            if start_lsn != self.end_lsn:
+                raise WalError(
+                    f"ingest at {format_lsn(start_lsn)} does not continue the "
+                    f"log (end is {format_lsn(self.end_lsn)})"
                 )
-            total = int.from_bytes(data[offset : offset + 4], "little")
-            if total < HEADER_SIZE or offset + total > len(data):
-                raise LogRecordDecodeError(
-                    f"ingest frame ends mid-record at byte {offset}"
-                )
-            rtype = data[offset + 4]
-            if rtype == _COMMIT_TYPE:
-                last_commit = start_lsn + offset
-            elif rtype == _CHECKPOINT_BEGIN_TYPE:
-                last_checkpoint = start_lsn + offset
-            offset += total
-        self._data += data
-        self._durable_end = self.end_lsn
-        if last_commit != NULL_LSN:
-            self._last_commit_lsn = last_commit
-        self.env.log_device.write_seq_async(len(data))
-        self.env.stats.log_flushes += 1
-        self.env.stats.log_write_bytes += len(data)
-        return last_checkpoint
+            if not data:
+                return NULL_LSN
+            # Header walk: reject torn frames before mutating any state.
+            offset = 0
+            last_commit = NULL_LSN
+            last_checkpoint = NULL_LSN
+            while offset < len(data):
+                if offset + HEADER_SIZE > len(data):
+                    raise LogRecordDecodeError(
+                        f"ingest frame ends mid-header at byte {offset}"
+                    )
+                total = int.from_bytes(data[offset : offset + 4], "little")
+                if total < HEADER_SIZE or offset + total > len(data):
+                    raise LogRecordDecodeError(
+                        f"ingest frame ends mid-record at byte {offset}"
+                    )
+                rtype = data[offset + 4]
+                if rtype == _COMMIT_TYPE:
+                    last_commit = start_lsn + offset
+                elif rtype == _CHECKPOINT_BEGIN_TYPE:
+                    last_checkpoint = start_lsn + offset
+                offset += total
+            self._data += data
+            self._durable_end = self.end_lsn
+            if last_commit != NULL_LSN:
+                self._last_commit_lsn = last_commit
+            self.env.log_device.write_seq_async(len(data))
+            self.env.stats.log_flushes += 1
+            self.env.stats.log_write_bytes += len(data)
+            return last_checkpoint
 
     def open_at(self, base_lsn: int) -> None:
         """Rebase a pristine, empty log so its next record lands at
@@ -418,25 +438,26 @@ class LogManager:
         archive). Only a freshly constructed log (no appended records, no
         prior rebase) may be rebased; anything else would orphan LSNs.
         """
-        if base_lsn < FIRST_LSN:
-            raise WalError(
-                f"cannot open log at {format_lsn(base_lsn)}: below the "
-                f"first valid LSN {format_lsn(FIRST_LSN)}"
-            )
-        if (
-            self._base != 0
-            or self.end_lsn != FIRST_LSN
-            or self._durable_end != FIRST_LSN
-            or self._truncated_before != FIRST_LSN
-        ):
-            raise WalError(
-                f"open_at requires a pristine empty log "
-                f"(end={format_lsn(self.end_lsn)}, base={self._base})"
-            )
-        self._data = bytearray()
-        self._base = base_lsn
-        self._durable_end = base_lsn
-        self._truncated_before = base_lsn
+        with self.latch:
+            if base_lsn < FIRST_LSN:
+                raise WalError(
+                    f"cannot open log at {format_lsn(base_lsn)}: below the "
+                    f"first valid LSN {format_lsn(FIRST_LSN)}"
+                )
+            if (
+                self._base != 0
+                or self.end_lsn != FIRST_LSN
+                or self._durable_end != FIRST_LSN
+                or self._truncated_before != FIRST_LSN
+            ):
+                raise WalError(
+                    f"open_at requires a pristine empty log "
+                    f"(end={format_lsn(self.end_lsn)}, base={self._base})"
+                )
+            self._data = bytearray()
+            self._base = base_lsn
+            self._durable_end = base_lsn
+            self._truncated_before = base_lsn
 
     def discard_after(self, lsn: int) -> None:
         """Throw away all records with LSN >= ``lsn`` (standby promotion).
@@ -447,18 +468,19 @@ class LogManager:
         Only meaningful on a standby log — a primary never unwrites
         durable records.
         """
-        if lsn > self.end_lsn:
-            return
-        if lsn < self._truncated_before:
-            raise WalError(
-                f"cannot discard from {format_lsn(lsn)}: below the "
-                f"retention horizon {format_lsn(self._truncated_before)}"
-            )
-        del self._data[lsn - self._base :]
-        self._durable_end = min(self._durable_end, lsn)
-        self._cache.clear()
-        if self._last_commit_lsn >= lsn:
-            self._last_commit_lsn = NULL_LSN
+        with self.latch:
+            if lsn > self.end_lsn:
+                return
+            if lsn < self._truncated_before:
+                raise WalError(
+                    f"cannot discard from {format_lsn(lsn)}: below the "
+                    f"retention horizon {format_lsn(self._truncated_before)}"
+                )
+            del self._data[lsn - self._base :]
+            self._durable_end = min(self._durable_end, lsn)
+            self._cache.clear()
+            if self._last_commit_lsn >= lsn:
+                self._last_commit_lsn = NULL_LSN
 
     # ------------------------------------------------------------------
     # Sequential scans (recovery, SplitLSN search, roll-forward)
@@ -477,23 +499,32 @@ class LogManager:
         undecodable record — the behavior recovery relies on to find the
         end of a crash-truncated log.
         """
-        if from_lsn < self._truncated_before:
-            raise LogTruncatedError(
-                f"scan start {format_lsn(from_lsn)} is below the retention "
-                f"horizon {format_lsn(self._truncated_before)}"
-            )
-        limit = self.end_lsn if to_lsn is None else min(to_lsn, self.end_lsn)
-        lsn = max(from_lsn, FIRST_LSN, self._base)
+        # The latch is taken per record, never held across a yield: a
+        # suspended generator must not wedge concurrent appenders.
+        with self.latch:
+            if from_lsn < self._truncated_before:
+                raise LogTruncatedError(
+                    f"scan start {format_lsn(from_lsn)} is below the "
+                    f"retention horizon {format_lsn(self._truncated_before)}"
+                )
+            limit = self.end_lsn if to_lsn is None else min(to_lsn, self.end_lsn)
+            lsn = max(from_lsn, FIRST_LSN, self._base)
         while lsn < limit:
-            self._touch_block(lsn, sequential=True, undo=False)
-            try:
-                record, end_offset = decode_record(self._data, lsn - self._base, lsn)
-            except LogRecordDecodeError:
-                if stop_on_torn_tail:
+            with self.latch:
+                if lsn >= self._base + len(self._data):
                     return
-                raise
+                self._touch_block(lsn, sequential=True, undo=False)
+                try:
+                    record, end_offset = decode_record(
+                        self._data, lsn - self._base, lsn
+                    )
+                except LogRecordDecodeError:
+                    if stop_on_torn_tail:
+                        return
+                    raise
+                next_lsn = self._base + end_offset
             yield record
-            lsn = self._base + end_offset
+            lsn = next_lsn
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -501,13 +532,15 @@ class LogManager:
 
     def crash(self) -> None:
         """Simulate a crash: the volatile tail and the cache vanish."""
-        keep = self._durable_end - self._base
-        del self._data[keep:]
-        self._cache.clear()
-        if self._last_commit_lsn >= self._durable_end:
-            # The last commit sat in the volatile tail; the survivor (if
-            # any) is only discoverable by scanning, so reset the tracker.
-            self._last_commit_lsn = NULL_LSN
+        with self.latch:
+            keep = self._durable_end - self._base
+            del self._data[keep:]
+            self._cache.clear()
+            if self._last_commit_lsn >= self._durable_end:
+                # The last commit sat in the volatile tail; the survivor
+                # (if any) is only discoverable by scanning, so reset the
+                # tracker.
+                self._last_commit_lsn = NULL_LSN
 
     def truncate_before(self, lsn: int) -> None:
         """Drop all records with LSN < ``lsn`` (retention enforcement).
@@ -515,17 +548,18 @@ class LogManager:
         Only durable prefixes may be truncated. The freed bytes are
         physically released.
         """
-        if lsn <= self._truncated_before:
-            return
-        if lsn > self._durable_end:
-            raise WalError(
-                f"cannot truncate at {format_lsn(lsn)} beyond durable "
-                f"boundary {format_lsn(self._durable_end)}"
-            )
-        cut = lsn - self._base
-        del self._data[:cut]
-        self._base = lsn
-        self._truncated_before = lsn
+        with self.latch:
+            if lsn <= self._truncated_before:
+                return
+            if lsn > self._durable_end:
+                raise WalError(
+                    f"cannot truncate at {format_lsn(lsn)} beyond durable "
+                    f"boundary {format_lsn(self._durable_end)}"
+                )
+            cut = lsn - self._base
+            del self._data[:cut]
+            self._base = lsn
+            self._truncated_before = lsn
 
     def __repr__(self) -> str:
         return (

@@ -11,6 +11,7 @@ A periodic :class:`~repro.engine.checkpoint.Checkpointer` keeps the
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.engine.checkpoint import Checkpointer
@@ -107,13 +108,15 @@ class TpccDriver:
             self._history_seq += 1
             payment(self.db, self.rng, self.scale, self._history_seq)
         elif kind == "order_status":
-            order_status(self._read_target(), self.rng, self.scale)
+            with self._read_guard():
+                order_status(self._read_target(), self.rng, self.scale)
         elif kind == "delivery":
             delivery(self.db, self.rng, self.scale)
         elif kind == "stock_level":
             w_id = self.rng.randint(1, self.scale.warehouses)
             d_id = self.rng.randint(1, self.scale.districts_per_warehouse)
-            stock_level(self._read_target(), w_id, d_id, threshold=60)
+            with self._read_guard():
+                stock_level(self._read_target(), w_id, d_id, threshold=60)
         result.transactions += 1
         if committed:
             result.committed += 1
@@ -127,6 +130,18 @@ class TpccDriver:
     def _read_target(self):
         """Where the mix's read-only procedures run (primary or standby)."""
         return self.read_reader if self.read_reader is not None else self.db
+
+    def _read_guard(self):
+        """Serialize a multi-page read against concurrent writers when
+        the target is a live database (snapshots are covered by their
+        own latch and need no guard)."""
+        target = self._read_target()
+        latch = getattr(target, "write_latch", None)
+        if latch is None and getattr(target, "primary", None) is not None:
+            # A Replica read runs against its standby database, whose
+            # write latch the apply path holds.
+            latch = getattr(getattr(target, "db", None), "write_latch", None)
+        return latch if latch is not None else nullcontext()
 
     def run_transactions(self, count: int) -> TpccResult:
         """Run exactly ``count`` transactions of the mix."""

@@ -1,0 +1,161 @@
+"""Race regressions for the monitor/alert path under concurrent DDL.
+
+The ghost-series bug class: ``DROP DATABASE victim`` purges the victim's
+gauges, recorded series, and alert conditions while the monitor is
+sampling on another thread. Before the monitor latch, that interleaving
+could (a) raise ``RuntimeError: dictionary changed size during
+iteration`` out of the recorder's series map, or (b) let a mid-flight
+sample re-publish a victim series *after* the purge, leaving ghost
+history and ghost alert conditions behind forever.
+
+These tests drive exactly that collision through
+``engine.run_sessions``: ticker sessions hammer ``monitor_tick()``
+(advancing the sim clock so samples actually land) while another
+session drops the victim database mid-storm. No sleeps — a barrier
+lines the threads up (RL003).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import Engine
+from repro.config import MonitorConfig, SimEnv
+from repro.obs.alerts import AlertRule
+
+TICK_ROUNDS = 60
+BARRIER_TIMEOUT_S = 30.0
+
+
+def _monitored_engine():
+    engine = Engine(
+        SimEnv.for_tests(),
+        monitor_config=MonitorConfig(sample_interval_s=0.01),
+    )
+    for name in ("keeper", "victim"):
+        engine.create_database(name)
+        engine.sql(
+            "CREATE TABLE items (id INT NOT NULL, qty INT, PRIMARY KEY (id))",
+            name,
+        )
+        for i in range(8):
+            engine.sql(f"INSERT INTO items VALUES ({i}, {i})", name)
+    return engine
+
+
+def _materialize_samples(engine, rounds=3):
+    for _ in range(rounds):
+        engine.env.clock.advance(engine.monitor_config.sample_interval_s)
+        engine.monitor_tick()
+
+
+def _victim_names(engine):
+    return [
+        name
+        for name in engine.monitor.recorder.names()
+        if "victim" in name
+    ]
+
+
+class TestDropVsTick:
+    def test_concurrent_drop_leaves_no_ghost_series(self):
+        engine = _monitored_engine()
+        engine.start_monitor()
+        _materialize_samples(engine)
+        assert _victim_names(engine), "scenario needs live victim series"
+
+        barrier = threading.Barrier(3)
+
+        def ticker():
+            barrier.wait(BARRIER_TIMEOUT_S)
+            for _ in range(TICK_ROUNDS):
+                engine.env.clock.advance(
+                    engine.monitor_config.sample_interval_s
+                )
+                engine.monitor_tick()
+
+        def dropper():
+            barrier.wait(BARRIER_TIMEOUT_S)
+            engine.drop_database("victim")
+
+        # Any RuntimeError (dict mutated during iteration) or KeyError
+        # from the tick/purge collision re-raises out of run_sessions.
+        engine.run_sessions(
+            [ticker, ticker, dropper], workers=3, timeout_s=BARRIER_TIMEOUT_S
+        )
+        # Post-drop ticks must not have resurrected the victim's series.
+        _materialize_samples(engine)
+        assert _victim_names(engine) == []
+        assert "victim" not in engine.databases
+        # The survivor keeps sampling normally.
+        assert any("keeper" in n for n in engine.monitor.recorder.names())
+
+    def test_concurrent_drop_leaves_no_ghost_alert_conditions(self):
+        engine = _monitored_engine()
+        engine.start_monitor(
+            rules=[
+                AlertRule(
+                    name="victim.log.growth",
+                    metric="log.victim.*",
+                    threshold=-1.0,  # always firing while the series lives
+                    severity="warning",
+                    subsystem="wal",
+                ),
+            ]
+        )
+        _materialize_samples(engine)
+        assert any(
+            "victim" in row["metric"] for row in engine.monitor.alerts.rows()
+        ), "scenario needs a live victim condition"
+
+        barrier = threading.Barrier(2)
+
+        def ticker():
+            barrier.wait(BARRIER_TIMEOUT_S)
+            for _ in range(TICK_ROUNDS):
+                engine.env.clock.advance(
+                    engine.monitor_config.sample_interval_s
+                )
+                engine.monitor_tick()
+
+        def dropper():
+            barrier.wait(BARRIER_TIMEOUT_S)
+            engine.drop_database("victim")
+
+        engine.run_sessions(
+            [ticker, dropper], workers=2, timeout_s=BARRIER_TIMEOUT_S
+        )
+        _materialize_samples(engine)
+        ghosts = [
+            row
+            for row in engine.monitor.alerts.rows()
+            if "victim" in row["metric"]
+        ]
+        assert ghosts == [], f"ghost alert conditions survived: {ghosts}"
+
+    def test_parallel_ticks_are_mutually_safe(self):
+        """N sessions pumping monitor_tick concurrently: the monitor
+        latch makes each tick atomic, so nothing raises and the sampled
+        history stays strictly ordered in time."""
+        engine = _monitored_engine()
+        engine.start_monitor()
+        barrier = threading.Barrier(4)
+
+        def ticker():
+            barrier.wait(BARRIER_TIMEOUT_S)
+            for _ in range(TICK_ROUNDS):
+                engine.env.clock.advance(
+                    engine.monitor_config.sample_interval_s / 2
+                )
+                engine.monitor_tick()
+
+        engine.run_sessions(
+            [ticker] * 4, workers=4, timeout_s=BARRIER_TIMEOUT_S
+        )
+        recorder = engine.monitor.recorder
+        for name in recorder.names():
+            stamps = [t for t, _v in recorder.points(name)]
+            assert stamps == sorted(stamps)
+            assert len(stamps) == len(set(stamps)), (
+                f"duplicate sample instants in {name}: a tick tore"
+            )

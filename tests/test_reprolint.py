@@ -206,6 +206,58 @@ class TestSharedStateDiscipline:
         findings = check(src, "src/repro/backup/x.py", {"RL005"})
         assert rules_of(findings) == ["RL005"]
 
+    # -- strict (latched) entries ---------------------------------------
+
+    def test_strict_owner_mutation_without_guard_flagged(self):
+        # _entries is strict: even the owning module must hold the latch.
+        src = "def evict(self, key):\n    del self._entries[key]\n"
+        findings = check(src, "src/repro/core/snapshot_pool.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+        assert "latched shared state" in findings[0].message
+
+    def test_strict_owner_mutation_under_guard_clean(self):
+        src = (
+            "def evict(self, key):\n"
+            "    with self.latch:\n"
+            "        del self._entries[key]\n"
+        )
+        assert check(src, "src/repro/core/snapshot_pool.py", {"RL005"}) == []
+
+    def test_strict_ctor_assignment_on_self_clean(self):
+        # __init__ predates sharing: the first assignment needs no guard.
+        src = (
+            "class SnapshotPool:\n"
+            "    def __init__(self):\n"
+            "        self._entries = {}\n"
+        )
+        assert check(src, "src/repro/core/snapshot_pool.py", {"RL005"}) == []
+
+    def test_strict_ctor_exemption_is_self_only(self):
+        # Mutating *another* object's latched state in a ctor still needs
+        # the guard — only self-assignments predate sharing.
+        src = (
+            "class Adopter:\n"
+            "    def __init__(self, pool):\n"
+            "        pool._entries = {}\n"
+        )
+        findings = check(src, "src/repro/core/snapshot_pool.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+
+    def test_strict_mutating_call_outside_guard_flagged(self):
+        src = "def note(self, name):\n    self._waits.pop(name, None)\n"
+        findings = check(src, "src/repro/txn/locks.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+
+    def test_strict_mutation_outside_ctor_method_flagged(self):
+        # A non-ctor method assigning on self still needs the guard.
+        src = (
+            "class LogManager:\n"
+            "    def crash(self):\n"
+            "        self._data = bytearray()\n"
+        )
+        findings = check(src, "src/repro/wal/log_manager.py", {"RL005"})
+        assert rules_of(findings) == ["RL005"]
+
 
 class TestObsInstrumentation:
     def test_bare_host_clock_read_flagged(self):

@@ -144,3 +144,56 @@ class TestIoStats:
 
     def test_unknown_get_returns_zero(self):
         assert IoStats().get("never_seen") == 0
+
+    def test_concurrent_bumps_and_snapshots_are_atomic(self):
+        """The leaf-lock contract the concurrent engine relies on: ad-hoc
+        bumps from many threads all land, and every snapshot taken
+        mid-storm is internally consistent (no torn _extra dict)."""
+        import threading
+
+        stats = IoStats()
+        barrier = threading.Barrier(5)
+        snapshots = []
+
+        def bumper():
+            barrier.wait(10.0)
+            for _ in range(500):
+                stats.bump("storm_counter")
+
+        def observer():
+            barrier.wait(10.0)
+            for _ in range(200):
+                snapshots.append(stats.snapshot().get("storm_counter"))
+
+        threads = [threading.Thread(target=bumper) for _ in range(4)]
+        threads.append(threading.Thread(target=observer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+            assert not t.is_alive()
+        assert stats.get("storm_counter") == 4 * 500
+        # Observed values never exceed the final total and never regress.
+        assert all(0 <= v <= 2000 for v in snapshots)
+        assert snapshots == sorted(snapshots)
+
+    def test_concurrent_clock_advances_all_land(self):
+        """SimClock.advance is a locked read-modify-write: concurrent
+        advances must sum exactly, never lose an increment."""
+        import threading
+
+        clock = SimClock()
+        barrier = threading.Barrier(4)
+
+        def advancer():
+            barrier.wait(10.0)
+            for _ in range(1000):
+                clock.advance(0.5)
+
+        threads = [threading.Thread(target=advancer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+            assert not t.is_alive()
+        assert clock.now() == pytest.approx(4 * 1000 * 0.5)
